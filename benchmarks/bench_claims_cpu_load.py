@@ -1,0 +1,41 @@
+"""§1 claim — method strength tracks CPU availability.
+
+"...better compression methods are used when CPU loads are low and/or
+network links are slow, and ... less effective and typically, faster
+compression techniques are used in high end network infrastructures."
+This bench drives a CPU-load square wave and shows the chosen method
+de-escalating while the sender is busy.
+"""
+
+from repro.core import AdaptivePipeline, LzSampler
+from repro.data.commercial import CommercialDataGenerator
+from repro.netsim import DEFAULT_COSTS, PAPER_LINKS, CpuModel, LoadTrace, SimulatedLink
+
+_STRENGTH = {"none": 0, "huffman": 1, "lempel-ziv": 2, "burrows-wheeler": 3}
+
+
+def _run():
+    cpu = CpuModel("dynamic", speed_factor=1.0)
+    pipeline = AdaptivePipeline(
+        cost_model=DEFAULT_COSTS,
+        cpu=cpu,
+        sampler=LzSampler(cost_model=DEFAULT_COSTS, cpu=cpu),
+    )
+    blocks = list(CommercialDataGenerator(seed=3).stream(128 * 1024, 40))
+    link = SimulatedLink(PAPER_LINKS["1mbit"], seed=1)
+    cpu_trace = LoadTrace.from_pairs([(0, 0), (30, 20), (60, 0)])
+    return pipeline.run(blocks, link, production_interval=2.0, cpu_load=cpu_trace)
+
+
+def test_claims_cpu_load(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nCPU-load square wave (busy t=30..60) on the 1 Mbit link")
+    previous = None
+    for record in result.records:
+        if record.method != previous:
+            print(f"  t={record.start_time:6.1f}s -> {record.method}")
+            previous = record.method
+    idle = [r for r in result.records if 6 < r.start_time < 28]
+    busy = [r for r in result.records if 44 < r.start_time < 60]
+    mean = lambda rs: sum(_STRENGTH[r.method] for r in rs) / len(rs)
+    assert mean(busy) < mean(idle)

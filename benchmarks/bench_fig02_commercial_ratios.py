@@ -1,0 +1,37 @@
+"""Figure 2 — compression percentages on commercial data.
+
+Paper values: Burrows-Wheeler ~34 %, Lempel-Ziv ~41 %, arithmetic ~46 %,
+Huffman ~47 % of original size.  Each benchmark compresses the same 128 KB
+commercial block; the report prints measured vs. paper percentages.
+"""
+
+import pytest
+
+from repro.compression import get_codec
+from repro.experiments import commercial_sample
+from repro.experiments.micro import PAPER_FIG2_PERCENT
+
+_DATA = commercial_sample(128 * 1024)
+_RESULTS = {}
+
+
+@pytest.mark.parametrize(
+    "method", ["burrows-wheeler", "lempel-ziv", "arithmetic", "huffman"]
+)
+def test_fig02_compress(benchmark, method):
+    codec = get_codec(method)
+    data = _DATA if method != "arithmetic" else _DATA[:32768]
+    payload = benchmark(codec.compress, data)
+    percent = 100.0 * len(payload) / len(data)
+    _RESULTS[method] = percent
+    print(
+        f"\nfig02 {method:16s} measured {percent:5.1f}%   "
+        f"paper {PAPER_FIG2_PERCENT[method]:5.1f}%"
+    )
+    # shape assertions (who wins)
+    if {"burrows-wheeler", "lempel-ziv", "huffman"} <= set(_RESULTS):
+        assert (
+            _RESULTS["burrows-wheeler"]
+            < _RESULTS["lempel-ziv"]
+            < _RESULTS["huffman"]
+        )

@@ -1,0 +1,49 @@
+"""Figure 3 — compression and decompression times per method.
+
+Paper shape (Sun-Fire, commercial dataset): Burrows-Wheeler slowest to
+compress (~8 s for the dataset), Huffman fastest (~1 s); arithmetic has
+the slowest decompression, Huffman/Lempel-Ziv the fastest.  We benchmark
+both directions on a 128 KB block and assert the orderings.
+"""
+
+import pytest
+
+from repro.compression import get_codec
+from repro.experiments import commercial_sample
+
+_DATA = commercial_sample(128 * 1024)
+_COMPRESSED = {}
+_COMPRESS_TIMES = {}
+_DECOMPRESS_TIMES = {}
+_METHODS = ["burrows-wheeler", "lempel-ziv", "arithmetic", "huffman"]
+
+
+def _input_for(method):
+    return _DATA if method != "arithmetic" else _DATA[:16384]
+
+
+@pytest.mark.parametrize("method", _METHODS)
+def test_fig03_compress_time(benchmark, method):
+    codec = get_codec(method)
+    data = _input_for(method)
+    payload = benchmark(codec.compress, data)
+    _COMPRESSED[method] = (data, payload)
+    # normalize to seconds per original MB for cross-method comparison
+    _COMPRESS_TIMES[method] = benchmark.stats.stats.mean / len(data) * (1 << 20)
+    print(f"\nfig03 compress   {method:16s} {_COMPRESS_TIMES[method]*1e3:8.2f} ms/MB")
+    if {"huffman", "burrows-wheeler"} <= set(_COMPRESS_TIMES):
+        assert _COMPRESS_TIMES["huffman"] < _COMPRESS_TIMES["burrows-wheeler"]
+
+
+@pytest.mark.parametrize("method", _METHODS)
+def test_fig03_decompress_time(benchmark, method):
+    codec = get_codec(method)
+    data = _input_for(method)
+    payload = codec.compress(data)
+    restored = benchmark(codec.decompress, payload)
+    assert restored == data
+    _DECOMPRESS_TIMES[method] = benchmark.stats.stats.mean / len(data) * (1 << 20)
+    print(f"\nfig03 decompress {method:16s} {_DECOMPRESS_TIMES[method]*1e3:8.2f} ms/MB")
+    if set(_DECOMPRESS_TIMES) == set(_METHODS):
+        # arithmetic decompression is the worst of all methods
+        assert _DECOMPRESS_TIMES["arithmetic"] == max(_DECOMPRESS_TIMES.values())

@@ -1,0 +1,28 @@
+"""Figure 5 — transfer speeds of the four link classes.
+
+Paper: 1 Gbit 26.32 MB/s (sigma 0.782 %), 100 Mbit 7.52 MB/s (8.95 %),
+1 Mbit 0.147 MB/s (1.17 %), international 0.109 MB/s (46.02 %).
+"""
+
+from repro.experiments import PAPER_FIG5, figure5_link_speeds
+
+
+def test_fig05_link_speeds(benchmark):
+    measured = benchmark.pedantic(
+        figure5_link_speeds, kwargs={"transfers": 400}, rounds=1, iterations=1
+    )
+    print("\nfig05 link transfer speeds (128 KB blocks, warm lines)")
+    print(f"{'link':15s} {'measured MB/s':>14s} {'paper MB/s':>11s} {'measured σ%':>12s} {'paper σ%':>9s}")
+    for name, (paper_speed, paper_stddev) in PAPER_FIG5.items():
+        m = measured[name]
+        print(
+            f"{name:15s} {m.mean_mb_per_s:14.4f} {paper_speed:11.4f} "
+            f"{m.stddev_percent:12.2f} {paper_stddev:9.2f}"
+        )
+        assert abs(m.mean_mb_per_s - paper_speed) / paper_speed < 0.10
+    assert (
+        measured["1gbit"].mean_mb_per_s
+        > measured["100mbit"].mean_mb_per_s
+        > measured["1mbit"].mean_mb_per_s
+        > measured["international"].mean_mb_per_s
+    )

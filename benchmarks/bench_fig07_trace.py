@@ -1,0 +1,28 @@
+"""Figure 7 — the MBone connection-count trace.
+
+Prints the 160-second series (quiet start, busy phase peaking below 20
+connections, mid-run lull) and benchmarks trace generation + lookup.
+"""
+
+from repro.experiments import figure7_trace_series
+from repro.netsim.loadtrace import mbone_trace
+
+
+def test_fig07_trace_generation(benchmark):
+    trace = benchmark(mbone_trace)
+    assert trace.duration == 160.0
+
+    series = figure7_trace_series(step=4.0)
+    print("\nfig07 MBone connections over time")
+    for t, connections in series:
+        bar = "#" * int(connections)
+        print(f"{t:6.0f}s {connections:5.0f} {bar}")
+    levels = [c for _, c in series]
+    assert levels[0] == 0
+    assert 10 <= max(levels) <= 20
+
+
+def test_fig07_lookup_speed(benchmark):
+    trace = mbone_trace()
+    result = benchmark(trace.connections_at, 83.0)
+    assert result >= 0

@@ -1,0 +1,31 @@
+"""Figure 8 — compression method chosen over time, commercial data.
+
+Paper: "Initially, with no network load, no compression is performed
+(labeled as '1').  With increasing network load, the first compression
+method used is Lempel-Ziv ('2'), followed by Burrows-Wheeler ('3') under
+high network loads."
+"""
+
+from conftest import BENCH_REPLAY, print_series
+
+from repro.experiments import commercial_blocks, run_replay
+
+
+def test_fig08_method_over_time(benchmark, fig8_result):
+    # Benchmark one fresh (shorter) replay; report from the shared run.
+    from repro.experiments import ReplayConfig
+
+    small = ReplayConfig(block_count=12, production_interval=2.5)
+    benchmark.pedantic(
+        run_replay, args=(commercial_blocks(small), small), rounds=1, iterations=1
+    )
+
+    series = fig8_result.method_series()
+    print_series("fig08 method of compression (1=none 2=LZ 3=BW 4=Huffman)", series, "{:>8.1f}s  method {}")
+    codes = [code for _, code in series]
+    assert 1 in codes, "an uncompressed phase must exist"
+    assert 2 in codes, "Lempel-Ziv must be used under moderate load"
+    assert 3 in codes, "Burrows-Wheeler must appear under peak load"
+    # the quiet prologue is uncompressed (after the infinite-speed startup block)
+    early = [code for t, code in series if 2.0 < t < 6.0]
+    assert all(code == 1 for code in early)

@@ -1,0 +1,20 @@
+"""Figure 9 — per-block compression time over the commercial replay.
+
+Paper shape: microsecond-to-tens-of-milliseconds spikes tracking the
+chosen method — near zero while uncompressed, highest for the
+Burrows-Wheeler blocks.
+"""
+
+from conftest import print_series
+
+
+def test_fig09_compression_times(benchmark, fig8_result):
+    series = benchmark(fig8_result.compression_time_series)
+    print_series("fig09 time of compression (µs)", series, "{:>8.1f}s  {:>12.0f}")
+
+    by_method = {}
+    for record in fig8_result.records:
+        by_method.setdefault(record.method, []).append(record.compression_time)
+    assert all(t == 0.0 for t in by_method.get("none", [0.0]))
+    if "burrows-wheeler" in by_method and "lempel-ziv" in by_method:
+        assert max(by_method["burrows-wheeler"]) > max(by_method["lempel-ziv"])

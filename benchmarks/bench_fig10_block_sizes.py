@@ -1,0 +1,23 @@
+"""Figure 10 — compressed block sizes over the commercial replay.
+
+Paper shape: 128 KB plateaus while uncompressed, dropping to well under
+half once Lempel-Ziv/Burrows-Wheeler engage ("the size reduction of the
+data is significant and clear").
+"""
+
+from conftest import print_series
+
+
+def test_fig10_block_sizes(benchmark, fig8_result):
+    series = benchmark(fig8_result.block_size_series)
+    print_series("fig10 size of compressed blocks (bytes)", series, "{:>8.1f}s  {:>10d}")
+
+    sizes = {m: [] for m in ("none", "lempel-ziv", "burrows-wheeler")}
+    for record in fig8_result.records:
+        if record.method in sizes:
+            sizes[record.method].append(record.compressed_size)
+    assert all(size == 128 * 1024 for size in sizes["none"])
+    for method in ("lempel-ziv", "burrows-wheeler"):
+        if sizes[method]:
+            assert max(sizes[method]) < 128 * 1024 * 0.6
+    assert fig8_result.overall_ratio < 0.7

@@ -1,0 +1,25 @@
+"""Figure 11 — compression method chosen over time, molecular data.
+
+Paper: "most of the data was compressed by Huffman" ('4'), with '1'
+(none) while unloaded and occasional Lempel-Ziv/Burrows-Wheeler on "some
+small portions of the data that have string repetitions" (topology
+refreshes in our generator).
+"""
+
+from conftest import print_series
+
+
+def test_fig11_method_over_time(benchmark, fig11_result):
+    series = benchmark(fig11_result.method_series)
+    print_series(
+        "fig11 method of compression (1=none 2=LZ 3=BW 4=Huffman)",
+        series,
+        "{:>8.1f}s  method {}",
+    )
+    counts = fig11_result.method_counts()
+    compressed = {m: c for m, c in counts.items() if m != "none"}
+    assert compressed, "load must trigger compression at some point"
+    assert max(compressed, key=compressed.get) == "huffman"
+    dictionary = counts.get("lempel-ziv", 0) + counts.get("burrows-wheeler", 0)
+    assert dictionary >= 1, "repetitive metadata portions must be caught"
+    assert dictionary < counts.get("huffman", 0), "dictionary methods stay rare"

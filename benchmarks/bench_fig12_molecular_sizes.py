@@ -1,0 +1,20 @@
+"""Figure 12 — compressed block sizes over the molecular replay.
+
+Paper shape: blocks hover near the full 128 KB (the data "cannot be
+compressed well"), with occasional deep drops where the stream's
+repetitive portions are caught by dictionary methods.
+"""
+
+from conftest import print_series
+
+
+def test_fig12_block_sizes(benchmark, fig11_result):
+    series = benchmark(fig11_result.block_size_series)
+    print_series("fig12 size of compressed blocks (bytes)", series, "{:>8.1f}s  {:>10d}")
+
+    sizes = [size for _, size in series]
+    full = 128 * 1024
+    assert max(sizes) == full  # uncompressed plateaus exist
+    assert fig11_result.overall_ratio > 0.6  # nothing dramatic overall
+    # the repetitive portions produce at least one deep drop
+    assert min(sizes) < full * 0.5

@@ -1,0 +1,30 @@
+"""Shared session fixtures for the figure benchmarks.
+
+Figures 8-10 present three views of one commercial replay and Figures
+11-12 two views of one molecular replay; the runs are computed once per
+session here and shared across the per-figure benchmark modules.
+"""
+
+import pytest
+
+from repro.experiments import ReplayConfig, commercial_blocks, molecular_blocks, run_replay
+
+#: Scaled-down replay (64 blocks over the 160 s trace) keeping benchmark
+#: wall time reasonable while preserving every regime transition.
+BENCH_REPLAY = ReplayConfig(block_count=64, production_interval=2.5)
+
+
+@pytest.fixture(scope="session")
+def fig8_result():
+    return run_replay(commercial_blocks(BENCH_REPLAY), BENCH_REPLAY)
+
+
+@pytest.fixture(scope="session")
+def fig11_result():
+    return run_replay(molecular_blocks(BENCH_REPLAY), BENCH_REPLAY)
+
+
+def print_series(title, series, fmt="{:>10.2f}  {}"):
+    print(f"\n=== {title} ===")
+    for t, value in series:
+        print(fmt.format(t, value))

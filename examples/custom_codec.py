@@ -1,0 +1,90 @@
+"""Deploying a new compression method at runtime (paper §3.2 / §5).
+
+"As improved compression algorithms are developed ... this middleware
+capability allows applications to take advantage of such methods without
+any associated re-engineering costs."  This example registers a custom
+codec (a delta-filtered Huffman coder tuned for the molecular velocity
+field), derives an event channel carrying it while the system is live,
+and shows consumers switching onto it — no producer changes anywhere.
+
+Run:  python examples/custom_codec.py
+"""
+
+import numpy as np
+
+from repro.compression import Codec, get_codec, register_codec, unregister_codec
+from repro.data import MolecularDataGenerator
+from repro.middleware import (
+    CompressionHandler,
+    DecompressionHandler,
+    EchoSystem,
+    Event,
+)
+
+
+class ShuffleLzCodec(Codec):
+    """Byte-plane shuffle + Lempel-Ziv — a domain-specific method for
+    packed float32 arrays (quantized velocities), exactly the kind of
+    application-specific codec §5 anticipates end users deploying.
+
+    Grouping byte 0 of every float together (then byte 1, ...) turns the
+    shared exponent/high-mantissa bytes into long runs the dictionary
+    coder exploits — the classic HDF5 "shuffle" filter.
+    """
+
+    name = "shuffle-lz"
+    family = "domain-specific"
+    _WIDTH = 4  # float32 lanes
+
+    def compress(self, data: bytes) -> bytes:
+        tail_length = len(data) % self._WIDTH
+        body = np.frombuffer(data[: len(data) - tail_length], dtype=np.uint8)
+        planes = body.reshape(-1, self._WIDTH).T.copy().tobytes()
+        tail = data[len(data) - tail_length :]
+        return bytes([tail_length]) + get_codec("lempel-ziv").compress(planes) + tail
+
+    def decompress(self, payload: bytes) -> bytes:
+        tail_length = payload[0]
+        compressed = payload[1 : len(payload) - tail_length or None]
+        tail = payload[len(payload) - tail_length :] if tail_length else b""
+        planes = np.frombuffer(
+            get_codec("lempel-ziv").decompress(compressed), dtype=np.uint8
+        )
+        body = planes.reshape(self._WIDTH, -1).T.copy().tobytes()
+        return body + tail
+
+
+def main() -> None:
+    velocities = MolecularDataGenerator(atom_count=16384, seed=4).velocities_block()
+
+    print("Velocity field, stock methods:")
+    for method in ("huffman", "lempel-ziv", "burrows-wheeler"):
+        ratio = get_codec(method).ratio(velocities)
+        print(f"  {method:16s} {100 * ratio:5.1f}%")
+
+    # --- deploy the new method into the live registry -----------------------
+    register_codec("shuffle-lz", ShuffleLzCodec)
+    custom = get_codec("shuffle-lz")
+    assert custom.decompress(custom.compress(velocities)) == velocities
+    print(f"  {'shuffle-lz':16s} {100 * custom.ratio(velocities):5.1f}%   (deployed at runtime)")
+
+    # --- derive a channel carrying it, middleware-side ----------------------
+    system = EchoSystem()
+    source = system.create_channel("md/velocities")
+    derived = source.derive(CompressionHandler("shuffle-lz"), "md/velocities/shuffle")
+
+    received = []
+    decompress = DecompressionHandler()
+    derived.subscribe(lambda event: received.append(decompress(event)))
+
+    source.submit(Event(payload=velocities))
+    assert received[0].payload == velocities
+    print(f"\nderived channel {derived.channel_id!r} delivered "
+          f"{len(received)} event(s), payload intact after decompression")
+    print("producer code was never touched — the consumer derived the channel.")
+
+    unregister_codec("shuffle-lz")
+
+
+if __name__ == "__main__":
+    main()

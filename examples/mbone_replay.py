@@ -1,0 +1,55 @@
+"""Regenerate Figures 7-10 as ASCII charts.
+
+Replays the commercial-data stream across the MBone-loaded 100 Mbit link
+(the paper's §4.2 scenario) and renders the load trace, the method chosen
+per block, and the compressed block sizes over time.
+
+Run:  python examples/mbone_replay.py
+"""
+
+from repro.experiments import (
+    FIG8_CONFIG,
+    ReplayConfig,
+    build_trace,
+    commercial_blocks,
+    figure7_trace_series,
+    run_replay,
+)
+
+_METHOD_NAMES = {1: "none", 2: "lempel-ziv", 3: "burrows-wheeler", 4: "huffman"}
+
+
+def chart(series, width=60, label="{:5.0f}"):
+    top = max(value for _, value in series) or 1
+    for t, value in series:
+        bar = "#" * int(width * value / top)
+        print(f"{t:7.1f}s {label.format(value)} {bar}")
+
+
+def main() -> None:
+    config = ReplayConfig(block_count=96, production_interval=1.6)
+
+    print("=== Figure 7: MBone connections over time (raw trace) ===")
+    chart(figure7_trace_series(step=5.0))
+
+    result = run_replay(commercial_blocks(config), config)
+
+    print("\n=== Figure 8: method of compression over time ===")
+    print("    (1=none  2=Lempel-Ziv  3=Burrows-Wheeler  4=Huffman)")
+    previous = None
+    for t, code in result.method_series():
+        if code != previous:
+            print(f"{t:7.1f}s -> {code} ({_METHOD_NAMES[code]})")
+            previous = code
+
+    print("\n=== Figure 9: compression time per block (µs) ===")
+    chart(result.compression_time_series()[::4], label="{:9.0f}")
+
+    print("\n=== Figure 10: compressed block size (bytes) ===")
+    chart(result.block_size_series()[::4], label="{:7.0f}")
+
+    print("\nsummary:", result.summary())
+
+
+if __name__ == "__main__":
+    main()

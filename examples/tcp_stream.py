@@ -1,0 +1,57 @@
+"""The middleware over real sockets (no simulation anywhere).
+
+A producer process-half serves an event channel over loopback TCP; a
+consumer half connects, receives compressed events, and reconstructs the
+stream.  This is the deployment configuration of the §3 architecture —
+the same channels, handlers, and wire format as the simulated replays,
+pointed at a real network.
+
+Run:  python examples/tcp_stream.py
+"""
+
+from repro.data import CommercialDataGenerator
+from repro.middleware import (
+    ChannelServer,
+    CompressionHandler,
+    DecompressionHandler,
+    Event,
+    EventChannel,
+    RemoteChannel,
+)
+
+
+def main() -> None:
+    # --- producer side --------------------------------------------------------
+    source = EventChannel("ois/transactions")
+    compressed = source.derive(
+        CompressionHandler("burrows-wheeler"), "ois/transactions/bw"
+    )
+    server = ChannelServer()
+    server.offer(compressed)
+    host, port = server.address
+    print(f"serving channel 'ois/transactions/bw' on {host}:{port}")
+
+    # --- consumer side ----------------------------------------------------------
+    remote = RemoteChannel(host, port, "ois/transactions/bw")
+    decompress = DecompressionHandler()
+    restored = []
+    remote.mirror.subscribe(lambda e: restored.append(decompress(e).payload))
+
+    # --- stream ------------------------------------------------------------------
+    blocks = list(CommercialDataGenerator(seed=13).stream(32 * 1024, 12))
+    for block in blocks:
+        source.submit(Event(payload=block))
+    assert remote.wait_for(len(blocks)), "consumer did not receive every event"
+
+    raw = sum(len(b) for b in blocks)
+    print(f"sent {len(blocks)} blocks, {raw / 1024:.0f} KB of application data")
+    print(f"wire traffic: {remote.wire_bytes / 1024:.0f} KB "
+          f"({100 * remote.wire_bytes / raw:.0f}%) over real TCP")
+    print(f"stream intact: {restored == blocks}")
+
+    remote.close()
+    server.close()
+
+
+if __name__ == "__main__":
+    main()

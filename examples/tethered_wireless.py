@@ -1,0 +1,56 @@
+"""The embedded 'tethered proxy' scenario (paper §1).
+
+"We expect configurable compression to compete well in embedded systems,
+as well, where they are best deployed on 'tethered' machines before data
+is transmitted to mobile machines linked via wireless connections."
+
+A powered proxy sits between the OIS feed and a handheld on a lossy
+802.11b link.  Transfers run over the rate-controlled reliable transport
+(the IQ-RUDP model, ref [14]): the proxy compares shipping each block raw
+vs. compressing on the tether first, under increasing packet loss.
+
+Run:  python examples/tethered_wireless.py
+"""
+
+from repro.compression import get_codec
+from repro.data import CommercialDataGenerator
+from repro.netsim import PacketLink, RateControlledTransport, make_link
+
+
+def ship(blocks, loss_rate, method):
+    codec = get_codec(method)
+    transport = RateControlledTransport(
+        PacketLink(make_link("wireless-11mbit", seed=3), loss_rate=loss_rate, seed=3),
+        initial_rate=4e5,
+    )
+    total_time = 0.0
+    wire_bytes = 0
+    retransmissions = 0
+    for block in blocks:
+        payload = codec.compress(block)
+        report = transport.transfer(len(payload))
+        total_time += report.elapsed
+        wire_bytes += len(payload)
+        retransmissions += report.retransmissions
+    return total_time, wire_bytes, retransmissions
+
+
+def main() -> None:
+    blocks = list(CommercialDataGenerator(seed=77).stream(64 * 1024, 16))  # 1 MB
+    total_mb = sum(len(b) for b in blocks) / (1 << 20)
+    print(f"Shipping {total_mb:.1f} MB from tethered proxy to handheld (802.11b)\n")
+    print(f"{'loss':>6s} {'method':18s} {'time s':>8s} {'wire KB':>9s} {'retx':>6s}")
+    for loss in (0.0, 0.02, 0.10):
+        for method in ("none", "lempel-ziv", "burrows-wheeler"):
+            seconds, wire, retx = ship(blocks, loss, method)
+            print(
+                f"{100 * loss:5.0f}% {method:18s} {seconds:8.1f} "
+                f"{wire / 1024:9.0f} {retx:6d}"
+            )
+        print()
+    print("On the slow lossy hop, tether-side compression wins at every loss")
+    print("level — and the stronger the loss, the more each saved byte pays.")
+
+
+if __name__ == "__main__":
+    main()

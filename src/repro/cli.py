@@ -1,0 +1,264 @@
+"""Command-line interface: compress, analyze, and replay from the shell.
+
+Usage (also available as ``python -m repro``)::
+
+    repro compress  INPUT [-o OUT] [--method M]   # file -> envelope
+    repro decompress INPUT [-o OUT]               # envelope -> file
+    repro analyze   INPUT                         # entropy/repetition report
+    repro methods                                 # list registered codecs
+    repro replay    [--dataset D] [--link L] ...  # run a simulated stream
+    repro figure    N                             # print a paper figure
+
+``compress --method adaptive`` profiles a sample of the input (entropy +
+repetition, §4.1) and picks the recommended method.  Compressed output is
+wrapped in a tiny self-describing envelope so ``decompress`` knows which
+codec to apply — the CLI equivalent of the middleware's method attribute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .compression.registry import available_codecs, get_codec
+from .compression.varint import read_varint, write_varint
+from .data.analysis import profile, recommended_methods
+
+_ENVELOPE_MAGIC = b"RPRZ"
+
+
+def _wrap(method: str, payload: bytes) -> bytes:
+    name = method.encode()
+    out = bytearray(_ENVELOPE_MAGIC)
+    write_varint(out, len(name))
+    out += name
+    out += payload
+    return bytes(out)
+
+
+def _unwrap(data: bytes) -> tuple:
+    if data[: len(_ENVELOPE_MAGIC)] != _ENVELOPE_MAGIC:
+        raise SystemExit("error: input is not a repro envelope")
+    length, offset = read_varint(data, len(_ENVELOPE_MAGIC))
+    method = bytes(data[offset : offset + length]).decode()
+    return method, data[offset + length :]
+
+
+def _pick_method(data: bytes) -> str:
+    sample = data[: 64 * 1024]
+    recommendations = recommended_methods(profile(sample))
+    return recommendations[0]
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    data = Path(args.input).read_bytes()
+    method = args.method
+    if method == "adaptive":
+        method = _pick_method(data)
+    codec = get_codec(method)
+    payload = codec.compress(data)
+    out_path = Path(args.output or args.input + ".rprz")
+    out_path.write_bytes(_wrap(method, payload))
+    ratio = len(payload) / len(data) if data else 1.0
+    print(
+        f"{args.input}: {len(data)} -> {len(payload)} bytes "
+        f"({100 * ratio:.1f}%) via {method} -> {out_path}"
+    )
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    method, payload = _unwrap(Path(args.input).read_bytes())
+    codec = get_codec(method)
+    data = codec.decompress(payload)
+    default = args.input[:-5] if args.input.endswith(".rprz") else args.input + ".out"
+    out_path = Path(args.output or default)
+    out_path.write_bytes(data)
+    print(f"{args.input}: {len(payload)} -> {len(data)} bytes via {method} -> {out_path}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    data = Path(args.input).read_bytes()
+    sample = data[: 256 * 1024]
+    report = profile(sample)
+    print(f"file           : {args.input} ({len(data)} bytes)")
+    print(f"entropy        : {report.entropy_bits_per_byte:.2f} bits/byte")
+    print(f"repetition     : {report.repetition:.2f} (repeated 4-gram fraction)")
+    print(f"characteristic : {report.characteristic}")
+    print(f"recommended    : {', '.join(recommended_methods(report))}")
+    if args.ratios:
+        print("measured ratios (on the sample):")
+        for method in ("huffman", "lempel-ziv", "lzw", "burrows-wheeler"):
+            codec = get_codec(method)
+            print(f"  {method:16s} {100 * codec.ratio(sample):5.1f}%")
+    return 0
+
+
+def cmd_methods(_args: argparse.Namespace) -> int:
+    for name in available_codecs():
+        codec = get_codec(name)
+        print(f"{name:26s} family={codec.family}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .experiments.config import ReplayConfig
+    from .experiments.replay import commercial_blocks, molecular_blocks, run_replay
+
+    config = ReplayConfig(
+        link=args.link,
+        block_count=args.blocks,
+        production_interval=args.interval,
+        trace_offset=args.trace_offset,
+        pipelined=args.pipelined,
+    )
+    blocks = (
+        commercial_blocks(config)
+        if args.dataset == "commercial"
+        else molecular_blocks(config)
+    )
+    result = run_replay(blocks, config)
+    print(f"dataset={args.dataset} link={args.link} blocks={args.blocks}")
+    for key, value in result.summary().items():
+        print(f"  {key:26s} {value:12.3f}")
+    print(f"  methods: {result.method_counts()}")
+    if args.series:
+        previous = None
+        for t, code in result.method_series():
+            if code != previous:
+                print(f"  t={t:7.1f}s method -> {code}")
+                previous = code
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import micro
+
+    number = args.number
+    if number == 1:
+        methods = ["burrows-wheeler", "lempel-ziv", "arithmetic", "huffman"]
+        rows = [(label, [cells[m] for m in methods]) for label, cells in micro.figure1_rows()]
+        print(micro.format_table(rows, ["characteristic"] + methods))
+    elif number in (2, 3):
+        results = micro.figure2_ratios()
+        for method, r in results.items():
+            print(
+                f"{method:18s} ratio={r.percent:5.1f}%  "
+                f"comp={r.compress_seconds * 1e3:8.1f}ms  "
+                f"decomp={r.decompress_seconds * 1e3:8.1f}ms"
+            )
+    elif number == 4:
+        speeds = micro.figure4_reducing_speeds()
+        for machine, by_method in speeds.items():
+            print(machine)
+            for method, speed in by_method.items():
+                print(f"  {method:18s} {speed / (1 << 20):6.3f} MB/s removed")
+    elif number == 5:
+        from .experiments.links import figure5_link_speeds
+
+        for name, m in figure5_link_speeds().items():
+            print(f"{name:15s} {m.mean_mb_per_s:9.4f} MB/s  sigma={m.stddev_percent:6.2f}%")
+    elif number == 6:
+        results = micro.figure6_molecular_ratios()
+        for field, by_method in results.items():
+            row = "  ".join(f"{m}={r.percent:5.1f}%" for m, r in by_method.items())
+            print(f"{field:12s} {row}")
+    elif number == 7:
+        from .experiments.replay import figure7_trace_series
+
+        for t, connections in figure7_trace_series(step=5.0):
+            print(f"{t:6.0f}s {connections:5.0f} {'#' * int(connections)}")
+    else:
+        raise SystemExit(
+            "error: figures 1-7 print directly; use `repro replay` for "
+            "figures 8-12 (add --series)"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.config import HEADLINE_CONFIG, ReplayConfig
+    from .experiments.report import generate_report
+    from dataclasses import replace as dc_replace
+
+    replay = ReplayConfig(block_count=args.blocks)
+    headline = dc_replace(HEADLINE_CONFIG, block_count=max(16, args.blocks))
+    document = generate_report(replay_config=replay, headline_config=headline)
+    if args.output:
+        Path(args.output).write_text(document)
+        print(f"wrote {args.output} ({len(document)} bytes)")
+    else:
+        print(document)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Configurable compression for end-to-end data exchange (ICDCS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a file into a self-describing envelope")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--method",
+        default="adaptive",
+        help="codec name, or 'adaptive' to pick from a data profile (default)",
+    )
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a repro envelope")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_decompress)
+
+    p = sub.add_parser("analyze", help="entropy/repetition profile and method advice")
+    p.add_argument("input")
+    p.add_argument("--ratios", action="store_true", help="also measure codec ratios")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("methods", help="list registered codecs")
+    p.set_defaults(func=cmd_methods)
+
+    p = sub.add_parser("replay", help="run a simulated adaptive stream")
+    p.add_argument("--dataset", choices=["commercial", "molecular"], default="commercial")
+    p.add_argument("--link", choices=["1gbit", "100mbit", "1mbit", "international"], default="100mbit")
+    p.add_argument("--blocks", type=int, default=64)
+    p.add_argument("--interval", type=float, default=1.25, help="seconds between blocks (0 = bulk)")
+    p.add_argument("--trace-offset", type=float, default=0.0)
+    p.add_argument("--pipelined", action="store_true")
+    p.add_argument("--series", action="store_true", help="print method transitions")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("figure", help="print a paper figure (1-7)")
+    p.add_argument("number", type=int)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("report", help="regenerate the full reproduction report")
+    p.add_argument("-o", "--output", help="write markdown to a file instead of stdout")
+    p.add_argument("--blocks", type=int, default=64, help="replay length (blocks)")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; standard CLI etiquette.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

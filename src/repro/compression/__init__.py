@@ -1,0 +1,72 @@
+"""Lossless compression methods (paper §2).
+
+From-scratch implementations of every method the paper evaluates —
+Huffman, arithmetic, Lempel-Ziv with Huffman-coded pointers, and the
+modified chunk-synchronizable Burrows-Wheeler pipeline — behind a uniform
+:class:`~repro.compression.base.Codec` interface and a runtime registry.
+"""
+
+from .arithmetic import AdaptiveByteModel, ArithmeticCodec, ContextArithmeticCodec
+from .base import Codec, CodecError, CompressionResult, CorruptStreamError, measure
+from .bitio import BitReader, BitWriter
+from .bwhuff import BurrowsWheelerCodec
+from .bwt import bwt_inverse, bwt_transform, suffix_array
+from .huffman import HuffmanCode, HuffmanCodec, StreamDecoder, huffman_code_lengths
+from .identity import IdentityCodec
+from .lossy import QuantizedFloatCodec, TruncatedFloatCodec
+from .lz77 import Lz77Codec, tokenize
+from .lzw import LzwCodec
+from .mtf import mtf_decode, mtf_encode
+from .native import NativeBwCodec, NativeLzCodec
+from .parallel import ParallelCodec, parallel_huffman_decode
+from .registry import (
+    PAPER_METHODS,
+    available_codecs,
+    get_codec,
+    register_codec,
+    unregister_codec,
+)
+from .rle import rle_decode, rle_encode
+from .streaming import StreamingCompressor, StreamingDecompressor
+
+__all__ = [
+    "AdaptiveByteModel",
+    "ArithmeticCodec",
+    "BitReader",
+    "BitWriter",
+    "BurrowsWheelerCodec",
+    "Codec",
+    "CodecError",
+    "CompressionResult",
+    "ContextArithmeticCodec",
+    "CorruptStreamError",
+    "HuffmanCode",
+    "HuffmanCodec",
+    "IdentityCodec",
+    "Lz77Codec",
+    "LzwCodec",
+    "NativeBwCodec",
+    "NativeLzCodec",
+    "ParallelCodec",
+    "PAPER_METHODS",
+    "QuantizedFloatCodec",
+    "StreamDecoder",
+    "StreamingCompressor",
+    "StreamingDecompressor",
+    "TruncatedFloatCodec",
+    "available_codecs",
+    "bwt_inverse",
+    "bwt_transform",
+    "get_codec",
+    "huffman_code_lengths",
+    "measure",
+    "mtf_decode",
+    "parallel_huffman_decode",
+    "mtf_encode",
+    "register_codec",
+    "rle_decode",
+    "rle_encode",
+    "suffix_array",
+    "tokenize",
+    "unregister_codec",
+]

@@ -1,0 +1,137 @@
+"""Common codec interface for the configurable-compression library.
+
+Every compression method in the paper (Huffman, arithmetic, Lempel-Ziv,
+Burrows-Wheeler, and the "no compression" identity) is exposed through the
+same two-method interface so the selection algorithm and the middleware
+handlers can treat them uniformly.
+
+A codec is *stateless* between calls: all state needed for decompression is
+embedded in the compressed representation itself.  This mirrors the paper's
+design in which any block can be handed to a receiver that only knows which
+method id was used (transported as a quality attribute).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "CorruptStreamError",
+    "CompressionResult",
+    "measure",
+]
+
+
+class CodecError(Exception):
+    """Base class for all compression-related failures."""
+
+
+class CorruptStreamError(CodecError):
+    """The compressed representation cannot be decoded."""
+
+
+class Codec(abc.ABC):
+    """Abstract lossless codec.
+
+    Subclasses define :attr:`name` (stable registry key, also used as the
+    method id in middleware attributes) and implement :meth:`compress` /
+    :meth:`decompress` such that ``decompress(compress(data)) == data`` for
+    every ``bytes`` input.
+    """
+
+    #: Stable identifier used by the registry and the wire protocol.
+    name: str = "abstract"
+
+    #: Relative implementation complexity class used in documentation and
+    #: the qualitative decision table; not consumed by the algorithm.
+    family: str = "generic"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Return a self-describing compressed representation of ``data``."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress`; raises :class:`CorruptStreamError`."""
+
+    def ratio(self, data: bytes) -> float:
+        """Compressed size as a fraction of the original size.
+
+        Matches the paper's "percents of compression" axis (Figures 2 and 6)
+        when multiplied by 100.  Empty inputs compress to ratio 1.0 by
+        convention.
+        """
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of one timed compression call.
+
+    ``reducing_speed`` is the paper's central metric: the number of bytes by
+    which the CPU shrank the data per second of compression work.  It is
+    ``0.0`` when the codec failed to shrink the data, and ``inf`` only for
+    the sentinel "first block" case created by the selector itself.
+    """
+
+    codec_name: str
+    original_size: int
+    compressed_size: int
+    elapsed_seconds: float
+    payload: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/original size; 1.0 for empty input."""
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def bytes_saved(self) -> int:
+        """How many bytes compression removed (never negative)."""
+        return max(0, self.original_size - self.compressed_size)
+
+    @property
+    def reducing_speed(self) -> float:
+        """Bytes removed per second of CPU time (paper §4.1, Figure 4)."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf") if self.bytes_saved else 0.0
+        return self.bytes_saved / self.elapsed_seconds
+
+    @property
+    def throughput(self) -> float:
+        """Input bytes consumed per second of CPU time."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf")
+        return self.original_size / self.elapsed_seconds
+
+
+def measure(codec: Codec, data: bytes, keep_payload: bool = True) -> CompressionResult:
+    """Compress ``data`` with ``codec`` under a wall-clock timer.
+
+    This is the measurement primitive behind the sampling process of §2.5:
+    the selector periodically compresses a small sample and uses the
+    resulting :class:`CompressionResult` to estimate both the reducing speed
+    and the achievable ratio for the next block.
+    """
+    start = time.perf_counter()
+    payload = codec.compress(data)
+    elapsed = time.perf_counter() - start
+    return CompressionResult(
+        codec_name=codec.name,
+        original_size=len(data),
+        compressed_size=len(payload),
+        elapsed_seconds=elapsed,
+        payload=payload if keep_payload else None,
+    )

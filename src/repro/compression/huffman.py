@@ -1,0 +1,367 @@
+"""Canonical, length-limited Huffman coding (paper §2.1).
+
+This module provides two layers:
+
+* :class:`HuffmanCode` — a reusable canonical Huffman code over an arbitrary
+  integer alphabet.  It is shared by the standalone :class:`HuffmanCodec`,
+  by the Lempel-Ziv pointer encoder (§2.3: "pointers … are represented by
+  Huffman codes") and by the joint chunk coder of the modified
+  Burrows-Wheeler pipeline (§2.4).
+* :class:`HuffmanCodec` — the standalone byte-oriented codec evaluated in
+  the paper's microbenchmarks (Figures 2, 3, 4, 6).
+
+Code lengths are limited to :data:`MAX_CODE_LENGTH` bits so that decoding
+can use a single flat lookup table, which keeps pure-Python decode speed
+acceptable for 128 KB blocks.  The paper highlights Huffman's
+self-synchronizing property (§2.4, ref [31]); :meth:`HuffmanCode.decode_symbols`
+accepts an arbitrary start bit, which is what the chunk-resynchronizing
+decoder in :mod:`repro.compression.bwhuff` builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Codec, CorruptStreamError
+from .bitio import BitReader, BitWriter
+from .varint import read_varint, write_varint
+
+__all__ = [
+    "MAX_CODE_LENGTH",
+    "HuffmanCode",
+    "HuffmanCodec",
+    "StreamDecoder",
+    "huffman_code_lengths",
+]
+
+#: Longest permitted codeword, in bits.  15 bits keeps the flat decode
+#: table at 32768 entries while being ample for 128 KB blocks.
+MAX_CODE_LENGTH = 15
+
+
+def huffman_code_lengths(frequencies: Sequence[int], max_length: int = MAX_CODE_LENGTH) -> List[int]:
+    """Compute length-limited Huffman code lengths for ``frequencies``.
+
+    Zero-frequency symbols get length 0 (no codeword).  The classic
+    heap-merge algorithm (the recursive procedure of §2.1) yields optimal
+    lengths; if any exceeds ``max_length`` they are clamped and the Kraft
+    inequality is repaired, trading a small amount of optimality for a
+    bounded decode table.
+    """
+    present = [(f, s) for s, f in enumerate(frequencies) if f > 0]
+    lengths = [0] * len(frequencies)
+    if not present:
+        return lengths
+    if len(present) == 1:
+        lengths[present[0][1]] = 1
+        return lengths
+
+    # Heap entries: (frequency, tiebreak, [symbols in this subtree]).
+    heap: List[Tuple[int, int, List[int]]] = [
+        (freq, sym, [sym]) for freq, sym in present
+    ]
+    heapq.heapify(heap)
+    tiebreak = len(frequencies)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for sym in s1:
+            lengths[sym] += 1
+        for sym in s2:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, tiebreak, s1 + s2))
+        tiebreak += 1
+
+    if max(lengths) <= max_length:
+        return lengths
+
+    # Clamp and repair the Kraft sum, then (greedily) shorten codes again
+    # while slack remains.  Symbols are treated in increasing-frequency
+    # order so the cheapest codes absorb the damage.
+    for sym in range(len(lengths)):
+        if lengths[sym] > max_length:
+            lengths[sym] = max_length
+    budget = 1 << max_length
+    kraft = sum(1 << (max_length - l) for l in lengths if l)
+    order = sorted((sym for sym, l in enumerate(lengths) if l), key=lambda s: frequencies[s])
+    while kraft > budget:
+        for sym in order:
+            if 0 < lengths[sym] < max_length:
+                kraft -= 1 << (max_length - lengths[sym] - 1)
+                lengths[sym] += 1
+                break
+        else:  # pragma: no cover - cannot happen while alphabet <= 2**max_length
+            raise CorruptStreamError("unable to repair Kraft inequality")
+    for sym in sorted(order, key=lambda s: -frequencies[s]):
+        while lengths[sym] > 1 and kraft + (1 << (max_length - lengths[sym])) <= budget:
+            kraft += 1 << (max_length - lengths[sym])
+            lengths[sym] -= 1
+    return lengths
+
+
+class HuffmanCode:
+    """A canonical Huffman code over the alphabet ``0 .. len(lengths)-1``."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        if any(l < 0 or l > MAX_CODE_LENGTH for l in lengths):
+            raise CorruptStreamError("code length outside supported range")
+        self.lengths = list(lengths)
+        self.codes: List[int] = [0] * len(lengths)
+        self.code_strings: List[str] = [""] * len(lengths)
+        self._assign_canonical()
+        self._decode_symbols = None  # type: list | None
+        self._decode_lengths = None  # type: list | None
+
+    def _assign_canonical(self) -> None:
+        order = sorted(
+            (sym for sym, l in enumerate(self.lengths) if l > 0),
+            key=lambda sym: (self.lengths[sym], sym),
+        )
+        code = 0
+        previous_length = 0
+        kraft = 0
+        for sym in order:
+            length = self.lengths[sym]
+            code <<= length - previous_length
+            self.codes[sym] = code
+            self.code_strings[sym] = format(code, f"0{length}b")
+            code += 1
+            previous_length = length
+            kraft += 1 << (MAX_CODE_LENGTH - length)
+        if kraft > (1 << MAX_CODE_LENGTH):
+            raise CorruptStreamError("code lengths violate the Kraft inequality")
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Sequence[int]) -> "HuffmanCode":
+        """Build the code for observed symbol ``frequencies``."""
+        return cls(huffman_code_lengths(frequencies))
+
+    @classmethod
+    def from_symbols(cls, symbols: Sequence[int], alphabet_size: int) -> "HuffmanCode":
+        """Build the code from a symbol stream (convenience for tests)."""
+        freqs = np.bincount(np.asarray(symbols, dtype=np.int64), minlength=alphabet_size)
+        return cls.from_frequencies(freqs.tolist())
+
+    # -- table serialization -------------------------------------------------
+
+    def write_table(self, writer: BitWriter) -> None:
+        """Serialize code lengths (4 bits each; canonical codes are implied)."""
+        for length in self.lengths:
+            writer.write_bits(length, 4)
+
+    @classmethod
+    def read_table(cls, reader: BitReader, alphabet_size: int) -> "HuffmanCode":
+        """Inverse of :meth:`write_table`."""
+        lengths = [reader.read_bits(4) for _ in range(alphabet_size)]
+        return cls(lengths)
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode_bitstring(self, symbols: Iterable[int]) -> str:
+        """Return the concatenated codewords as a '0'/'1' string.
+
+        String concatenation followed by one ``int(s, 2)`` conversion is the
+        fastest pure-Python encoding path and is used for whole blocks.
+        """
+        table = self.code_strings
+        return "".join(map(table.__getitem__, symbols))
+
+    def encode_to(self, writer: BitWriter, symbols: Iterable[int]) -> None:
+        """Stream codewords into an existing :class:`BitWriter`."""
+        codes = self.codes
+        lengths = self.lengths
+        for sym in symbols:
+            length = lengths[sym]
+            if length == 0:
+                raise CorruptStreamError(f"symbol {sym} has no codeword")
+            writer.write_bits(codes[sym], length)
+
+    # -- decoding -------------------------------------------------------------
+
+    def _ensure_decode_table(self) -> None:
+        if self._decode_symbols is not None:
+            return
+        size = 1 << MAX_CODE_LENGTH
+        syms = np.zeros(size, dtype=np.int32)
+        lens = np.zeros(size, dtype=np.int8)
+        for sym, length in enumerate(self.lengths):
+            if length == 0:
+                continue
+            prefix = self.codes[sym] << (MAX_CODE_LENGTH - length)
+            span = 1 << (MAX_CODE_LENGTH - length)
+            syms[prefix : prefix + span] = sym
+            lens[prefix : prefix + span] = length
+        # Plain lists: scalar indexing is faster than numpy and yields
+        # Python ints, which the bit-accumulator arithmetic requires.
+        self._decode_symbols = syms.tolist()
+        self._decode_lengths = lens.tolist()
+
+    def decode_symbols(
+        self, data: bytes, start_bit: int, count: int
+    ) -> Tuple[List[int], int]:
+        """Decode ``count`` symbols starting at ``start_bit``.
+
+        Returns ``(symbols, end_bit)``.  ``start_bit`` may point anywhere in
+        the stream — the Huffman self-synchronization property (§2.4) means
+        decoding from a wrong offset produces a few garbage symbols and then
+        locks on; callers exploiting that simply pass a guessed offset.
+        """
+        self._ensure_decode_table()
+        table_syms = self._decode_symbols
+        table_lens = self._decode_lengths
+        assert table_syms is not None and table_lens is not None
+        width = MAX_CODE_LENGTH
+        total_bits = len(data) * 8
+        out: List[int] = []
+        append = out.append
+        byte_index = start_bit >> 3
+        acc = 0
+        nbits = 0
+        if start_bit & 7:
+            acc = data[byte_index] & ((1 << (8 - (start_bit & 7))) - 1)
+            nbits = 8 - (start_bit & 7)
+            byte_index += 1
+        consumed = start_bit
+        data_len = len(data)
+        while len(out) < count:
+            while nbits < width and byte_index < data_len:
+                acc = (acc << 8) | data[byte_index]
+                byte_index += 1
+                nbits += 8
+            if nbits >= width:
+                window = (acc >> (nbits - width)) & ((1 << width) - 1)
+            else:
+                window = (acc << (width - nbits)) & ((1 << width) - 1)
+            length = table_lens[window]
+            if length == 0 or length > nbits:
+                raise CorruptStreamError("invalid codeword or truncated stream")
+            append(table_syms[window])
+            nbits -= length
+            acc &= (1 << nbits) - 1
+            consumed += length
+            if consumed > total_bits:
+                raise CorruptStreamError("bit stream exhausted mid-symbol")
+        return out, consumed
+
+    def expected_bits(self, frequencies: Sequence[int]) -> int:
+        """Encoded size in bits for a stream with the given frequencies."""
+        return sum(f * l for f, l in zip(frequencies, self.lengths))
+
+
+class StreamDecoder:
+    """Sequential bit-stream decoder mixing Huffman codes and raw bits.
+
+    The Lempel-Ziv decoder interleaves Huffman codewords (literal/length and
+    distance symbols) with raw extra bits, so it cannot use the batch
+    :meth:`HuffmanCode.decode_symbols`.  This decoder keeps an accumulator
+    over the payload and serves both kinds of reads in input order.
+    """
+
+    def __init__(self, data: bytes, start_bit: int = 0) -> None:
+        self._data = data
+        self._byte_index = start_bit >> 3
+        self._acc = 0
+        self._nbits = 0
+        if start_bit & 7:
+            self._acc = data[self._byte_index] & ((1 << (8 - (start_bit & 7))) - 1)
+            self._nbits = 8 - (start_bit & 7)
+            self._byte_index += 1
+
+    @property
+    def bit_position(self) -> int:
+        """Absolute bit offset of the next unread bit."""
+        return self._byte_index * 8 - self._nbits
+
+    def _fill(self, want: int) -> None:
+        data = self._data
+        length = len(data)
+        while self._nbits < want and self._byte_index < length:
+            self._acc = (self._acc << 8) | data[self._byte_index]
+            self._byte_index += 1
+            self._nbits += 8
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` raw bits (MSB first)."""
+        if width == 0:
+            return 0
+        self._fill(width)
+        if self._nbits < width:
+            raise CorruptStreamError("bit stream exhausted")
+        self._nbits -= width
+        value = (self._acc >> self._nbits) & ((1 << width) - 1)
+        self._acc &= (1 << self._nbits) - 1
+        return value
+
+    def read_code(self, code: HuffmanCode) -> int:
+        """Read one Huffman codeword of ``code``."""
+        code._ensure_decode_table()
+        table_syms = code._decode_symbols
+        table_lens = code._decode_lengths
+        assert table_syms is not None and table_lens is not None
+        self._fill(MAX_CODE_LENGTH)
+        if self._nbits >= MAX_CODE_LENGTH:
+            window = (self._acc >> (self._nbits - MAX_CODE_LENGTH)) & (
+                (1 << MAX_CODE_LENGTH) - 1
+            )
+        else:
+            window = (self._acc << (MAX_CODE_LENGTH - self._nbits)) & (
+                (1 << MAX_CODE_LENGTH) - 1
+            )
+        length = table_lens[window]
+        if length == 0 or length > self._nbits:
+            raise CorruptStreamError("invalid codeword or truncated stream")
+        self._nbits -= length
+        self._acc &= (1 << self._nbits) - 1
+        return table_syms[window]
+
+
+class HuffmanCodec(Codec):
+    """Standalone byte-level Huffman codec (paper §2.1).
+
+    Wire format::
+
+        varint  original_length
+        256 x 4-bit code lengths          (only if original_length > 0)
+        padded  Huffman bitstream
+    """
+
+    name = "huffman"
+    family = "entropy"
+
+    def compress(self, data: bytes) -> bytes:
+        header = bytearray()
+        write_varint(header, len(data))
+        if not data:
+            return bytes(header)
+        freqs = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
+        code = HuffmanCode.from_frequencies(freqs.tolist())
+        writer = BitWriter()
+        code.write_table(writer)
+        bits = code.encode_bitstring(data)
+        table_bytes = writer.getvalue()  # 256 * 4 bits = exactly 128 bytes
+        payload = _bitstring_to_bytes(bits)
+        return bytes(header) + table_bytes + payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        view = memoryview(payload)
+        original_length, offset = read_varint(view, 0)
+        if original_length == 0:
+            if offset != len(payload):
+                raise CorruptStreamError("trailing bytes after empty stream")
+            return b""
+        reader = BitReader(payload, start_bit=offset * 8)
+        code = HuffmanCode.read_table(reader, 256)
+        symbols, _ = code.decode_symbols(payload, reader.position, original_length)
+        return bytes(symbols)
+
+
+def _bitstring_to_bytes(bits: str) -> bytes:
+    """Pack a '0'/'1' string into bytes, padding with zeros."""
+    if not bits:
+        return b""
+    padding = (-len(bits)) % 8
+    bits += "0" * padding
+    return int(bits, 2).to_bytes(len(bits) // 8, "big")

@@ -1,0 +1,25 @@
+"""The "don't compress" method of the selection algorithm (§2.5).
+
+When the link is fast relative to the CPU's reducing speed, the paper's
+algorithm sends blocks uncompressed.  Modelling that as a codec keeps the
+pipeline, middleware handlers, and statistics uniform.
+"""
+
+from __future__ import annotations
+
+from .base import Codec
+
+__all__ = ["IdentityCodec"]
+
+
+class IdentityCodec(Codec):
+    """Pass-through codec; compress and decompress are the identity."""
+
+    name = "none"
+    family = "identity"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return bytes(payload)

@@ -1,0 +1,123 @@
+"""LZW — the LZ78-family dictionary coder (paper ref [24]).
+
+The paper's Lempel-Ziv discussion cites both the 1977 sliding-window
+algorithm (our :mod:`~repro.compression.lz77`) and the 1978 explicit-
+dictionary one; production systems of the era (UNIX ``compress``,
+WINZIP's ancestors) shipped the LZW variant of the latter.  This is a
+classic variable-width LZW:
+
+* codes start at 9 bits and widen up to :data:`MAX_CODE_BITS`;
+* code 256 resets the dictionary (emitted when it fills), 257 is EOF;
+* decoding handles the KwKwK corner case.
+
+Registered as ``"lzw"``; available to the selector as an alternative
+dictionary method and used by tests as an independent reference when
+validating the LZ77 implementation's ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Codec, CorruptStreamError
+from .bitio import BitReader, BitWriter
+from .varint import read_varint, write_varint
+
+__all__ = ["LzwCodec", "MAX_CODE_BITS"]
+
+MAX_CODE_BITS = 14
+_RESET = 256
+_EOF = 257
+_FIRST_FREE = 258
+
+
+class LzwCodec(Codec):
+    """Variable-width LZW with dictionary reset.
+
+    Wire format::
+
+        varint original_length
+        padded variable-width code stream ending in the EOF code
+    """
+
+    name = "lzw"
+    family = "dictionary"
+
+    def compress(self, data: bytes) -> bytes:
+        header = bytearray()
+        write_varint(header, len(data))
+        if not data:
+            return bytes(header)
+        writer = BitWriter()
+        table: Dict[bytes, int] = {bytes([i]): i for i in range(256)}
+        next_code = _FIRST_FREE
+        width = 9
+        limit = 1 << MAX_CODE_BITS
+
+        current = bytes([data[0]])
+        for byte in data[1:]:
+            extended = current + bytes([byte])
+            code = table.get(extended)
+            if code is not None:
+                current = extended
+                continue
+            writer.write_bits(table[current], width)
+            if next_code < limit:
+                table[extended] = next_code
+                next_code += 1
+                if next_code > (1 << width) and width < MAX_CODE_BITS:
+                    width += 1
+            else:
+                writer.write_bits(_RESET, width)
+                table = {bytes([i]): i for i in range(256)}
+                next_code = _FIRST_FREE
+                width = 9
+            current = bytes([byte])
+        writer.write_bits(table[current], width)
+        writer.write_bits(_EOF, width)
+        return bytes(header) + writer.getvalue()
+
+    def decompress(self, payload: bytes) -> bytes:
+        view = memoryview(payload)
+        original_length, offset = read_varint(view, 0)
+        if original_length == 0:
+            if offset != len(payload):
+                raise CorruptStreamError("trailing bytes after empty stream")
+            return b""
+        reader = BitReader(payload, start_bit=offset * 8)
+        out = bytearray()
+        strings: List[bytes] = [bytes([i]) for i in range(256)] + [b"", b""]
+        width = 9
+        limit = 1 << MAX_CODE_BITS
+        previous: bytes = b""
+
+        while True:
+            try:
+                code = reader.read_bits(width)
+            except EOFError:
+                raise CorruptStreamError("LZW stream ended without EOF code") from None
+            if code == _EOF:
+                break
+            if code == _RESET:
+                strings = [bytes([i]) for i in range(256)] + [b"", b""]
+                width = 9
+                previous = b""
+                continue
+            if code < len(strings) and (code < 256 or strings[code]):
+                entry = strings[code]
+            elif code == len(strings) and previous:
+                entry = previous + previous[:1]  # the KwKwK case
+            else:
+                raise CorruptStreamError(f"invalid LZW code {code}")
+            out += entry
+            if previous and len(strings) < limit:
+                strings.append(previous + entry[:1])
+                # Encoder widens *after* assigning next_code; mirror it.
+                if len(strings) + 1 > (1 << width) and width < MAX_CODE_BITS:
+                    width += 1
+            previous = entry
+            if len(out) > original_length:
+                raise CorruptStreamError("decoded size exceeds header length")
+        if len(out) != original_length:
+            raise CorruptStreamError("decoded size does not match header length")
+        return bytes(out)

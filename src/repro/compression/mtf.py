@@ -1,0 +1,41 @@
+"""Move-to-front coding (paper §2.4, step 2).
+
+"This algorithm keeps all 256 possible characters in a list.  When a
+character is to be sent …, its position in the list will be sent.  After
+the character is 'sent', it is moved … to the front of the list."
+
+After a Burrows-Wheeler transform the input is dominated by runs, so the
+emitted indices are mostly zeros and small values — which is what makes the
+subsequent run-length + Huffman stages effective.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mtf_encode", "mtf_decode"]
+
+
+def mtf_encode(data: bytes) -> bytes:
+    """Replace each byte with its current position in the recency list."""
+    table = list(range(256))
+    out = bytearray(len(data))
+    index_of = table.index
+    for position, byte in enumerate(data):
+        rank = index_of(byte)
+        out[position] = rank
+        if rank:
+            del table[rank]
+            table.insert(0, byte)
+    return bytes(out)
+
+
+def mtf_decode(indices: bytes) -> bytes:
+    """Invert :func:`mtf_encode`."""
+    table = list(range(256))
+    out = bytearray(len(indices))
+    for position, rank in enumerate(indices):
+        byte = table[rank]
+        out[position] = byte
+        if rank:
+            del table[rank]
+            table.insert(0, byte)
+    return bytes(out)

@@ -1,0 +1,258 @@
+"""Parallel compression and parallel Huffman decoding (paper refs [31-33]).
+
+The paper builds on the authors' earlier work on parallel compression:
+block sizes were "chosen according to the efficiency of compression
+methods based on [32, 33]" (Wiseman, *Parallel Compression*; Klein &
+Wiseman, *Parallel Lempel Ziv Coding*), and the §2.4 chunk-synchronizable
+Huffman stream exists precisely because "Huffman can be synchronized
+easily, as shown in [31]" (Klein & Wiseman, *Parallel Huffman Decoding*).
+This module supplies both systems:
+
+* :class:`ParallelCodec` — a container that splits data into independent
+  chunks and runs any base codec over them through a thread pool.  Each
+  chunk is self-contained, so decompression parallelizes trivially and a
+  lost/reordered chunk does not poison the rest.
+* :func:`parallel_huffman_decode` — the Klein-Wiseman segment-decoding
+  algorithm: split the bitstream into S segments at byte boundaries,
+  decode each speculatively from its (guessed) start, then stitch by
+  exploiting Huffman self-synchronization — a speculative decode that has
+  locked onto the true codeword boundaries by the time the previous
+  segment's decode reaches it can be accepted wholesale; otherwise the
+  gap is re-decoded sequentially (rare).
+
+CPython's GIL means the thread pool only yields wall-clock speedups for
+codecs that release the GIL (the zlib/bz2-backed natives); for the pure-
+Python codecs the value is the container format and the algorithms
+themselves, which is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import Codec, CorruptStreamError
+from .huffman import HuffmanCode
+from .varint import read_varint, write_varint
+
+__all__ = [
+    "ParallelCodec",
+    "parallel_huffman_decode",
+    "huffman_segment_table",
+]
+
+_MAGIC = b"PAR1"
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+class ParallelCodec(Codec):
+    """Chunked parallel wrapper around any base codec.
+
+    Wire format::
+
+        PAR1
+        varint chunk_count
+        chunk_count x (varint original_len, varint compressed_len)
+        concatenated chunk payloads
+    """
+
+    family = "parallel"
+
+    def __init__(
+        self,
+        base: Codec,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        workers: int = 4,
+    ) -> None:
+        if chunk_size < 1024:
+            raise ValueError("chunk_size must be at least 1 KB")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.base = base
+        self.chunk_size = chunk_size
+        self.workers = workers
+        self.name = f"parallel:{base.name}"
+
+    def compress(self, data: bytes) -> bytes:
+        chunks = [
+            data[start : start + self.chunk_size]
+            for start in range(0, len(data), self.chunk_size)
+        ]
+        if chunks:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                payloads = list(pool.map(self.base.compress, chunks))
+        else:
+            payloads = []
+        out = bytearray(_MAGIC)
+        write_varint(out, len(chunks))
+        for chunk, payload in zip(chunks, payloads):
+            write_varint(out, len(chunk))
+            write_varint(out, len(payload))
+        for payload in payloads:
+            out += payload
+        return bytes(out)
+
+    def decompress(self, payload: bytes) -> bytes:
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("not a parallel container (bad magic)")
+        offset = len(_MAGIC)
+        chunk_count, offset = read_varint(payload, offset)
+        geometry: List[Tuple[int, int]] = []
+        for _ in range(chunk_count):
+            original_length, offset = read_varint(payload, offset)
+            compressed_length, offset = read_varint(payload, offset)
+            geometry.append((original_length, compressed_length))
+        pieces: List[bytes] = []
+        for _, compressed_length in geometry:
+            piece = payload[offset : offset + compressed_length]
+            if len(piece) != compressed_length:
+                raise CorruptStreamError("truncated parallel container")
+            pieces.append(piece)
+            offset += compressed_length
+        if offset != len(payload):
+            raise CorruptStreamError("trailing bytes after last chunk")
+        if pieces:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                chunks = list(pool.map(self.base.decompress, pieces))
+        else:
+            chunks = []
+        for (original_length, _), chunk in zip(geometry, chunks):
+            if len(chunk) != original_length:
+                raise CorruptStreamError("chunk decoded to unexpected length")
+        return b"".join(chunks)
+
+    def decompress_chunk(self, payload: bytes, index: int) -> bytes:
+        """Random access: decompress only chunk ``index``.
+
+        The per-chunk independence that enables parallel decode also gives
+        random access — a property the original paper's out-of-order block
+        delivery relies on.
+        """
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("not a parallel container (bad magic)")
+        offset = len(_MAGIC)
+        chunk_count, offset = read_varint(payload, offset)
+        if not 0 <= index < chunk_count:
+            raise IndexError(f"chunk {index} out of range [0, {chunk_count})")
+        geometry: List[Tuple[int, int]] = []
+        for _ in range(chunk_count):
+            original_length, offset = read_varint(payload, offset)
+            compressed_length, offset = read_varint(payload, offset)
+            geometry.append((original_length, compressed_length))
+        start = offset + sum(length for _, length in geometry[:index])
+        original_length, compressed_length = geometry[index]
+        chunk = self.base.decompress(payload[start : start + compressed_length])
+        if len(chunk) != original_length:
+            raise CorruptStreamError("chunk decoded to unexpected length")
+        return chunk
+
+
+# --------------------------------------------------------------------------
+# Parallel Huffman decoding (Klein & Wiseman, ref [31])
+# --------------------------------------------------------------------------
+
+
+def huffman_segment_table(
+    code: HuffmanCode, data: bytes, start_bit: int, end_bit: int
+) -> Tuple[List[int], List[int], int]:
+    """Speculatively decode ``[start_bit, ...)`` until at/past ``end_bit``.
+
+    Returns ``(boundary_bits, symbols, final_bit)`` where
+    ``boundary_bits[i]`` is the bit position at which ``symbols[i]`` was
+    decoded.  Decoding continues past ``end_bit`` just far enough to land
+    exactly on a codeword boundary, so consecutive segments can be
+    stitched.  Raises :class:`CorruptStreamError` only when the stream
+    ends mid-codeword.
+    """
+    boundaries: List[int] = []
+    symbols: List[int] = []
+    position = start_bit
+    total_bits = len(data) * 8
+    while position < end_bit and position < total_bits:
+        boundaries.append(position)
+        try:
+            decoded, position = code.decode_symbols(data, position, 1)
+        except CorruptStreamError:
+            # Mis-synchronized speculation can run into an invalid window
+            # near the end; report what we have.
+            boundaries.pop()
+            break
+        symbols.extend(decoded)
+    return boundaries, symbols, position
+
+
+def parallel_huffman_decode(
+    code: HuffmanCode,
+    data: bytes,
+    symbol_count: int,
+    start_bit: int = 0,
+    segments: int = 4,
+    workers: Optional[int] = None,
+) -> List[int]:
+    """Decode ``symbol_count`` symbols with speculative parallel segments.
+
+    The Klein-Wiseman scheme: the payload's bit range is cut into
+    ``segments`` equal parts at byte boundaries.  Segment 0 starts at the
+    true stream start; every other segment starts decoding at its first
+    byte boundary, which is generally *not* a codeword boundary — but
+    Huffman codes self-synchronize, so after a few garbage symbols the
+    speculative decode locks onto the true boundary sequence.  Stitching
+    walks segment by segment: the true entry position into segment ``s+1``
+    (known once segment ``s`` is resolved) is looked up in ``s+1``'s
+    speculative boundary list; on a hit, the speculative suffix is
+    accepted; on a miss (the speculation never synchronized) the segment
+    is re-decoded sequentially from the true position.
+    """
+    if segments < 1:
+        raise ValueError("segments must be positive")
+    total_bits = len(data) * 8
+    if symbol_count == 0:
+        return []
+    segment_span = max(8, ((total_bits - start_bit) // segments + 7) & ~7)
+    starts = [start_bit]
+    for index in range(1, segments):
+        candidate = start_bit + index * segment_span
+        candidate -= candidate % 8  # byte alignment, as in the original
+        if candidate >= total_bits:
+            break
+        starts.append(candidate)
+    ends = starts[1:] + [total_bits]
+
+    def speculate(bounds: Tuple[int, int]) -> Tuple[List[int], List[int], int]:
+        return huffman_segment_table(code, data, bounds[0], bounds[1])
+
+    with ThreadPoolExecutor(max_workers=workers or len(starts)) as pool:
+        tables = list(pool.map(speculate, zip(starts, ends)))
+
+    symbols: List[int] = []
+    position = start_bit
+    for index, (boundaries, segment_symbols, final_bit) in enumerate(tables):
+        if len(symbols) >= symbol_count:
+            break
+        if position == starts[index]:
+            # The true boundary coincides with the speculation start
+            # (always true for segment 0).
+            symbols.extend(segment_symbols)
+            position = final_bit
+            continue
+        # Find the true entry position in the speculative boundary list.
+        lookup: Dict[int, int] = {bit: i for i, bit in enumerate(boundaries)}
+        while position < ends[index] and position not in lookup:
+            # Speculation had not synchronized yet at `position`: decode
+            # sequentially until we join its chain (or leave the segment).
+            decoded, position = code.decode_symbols(data, position, 1)
+            symbols.extend(decoded)
+            if len(symbols) >= symbol_count:
+                break
+        if len(symbols) >= symbol_count:
+            break
+        if position in lookup:
+            join = lookup[position]
+            symbols.extend(segment_symbols[join:])
+            position = final_bit
+        # else: we walked past the segment end sequentially; continue.
+    if len(symbols) < symbol_count:
+        raise CorruptStreamError(
+            f"stream exhausted after {len(symbols)} of {symbol_count} symbols"
+        )
+    return symbols[:symbol_count]

@@ -1,0 +1,80 @@
+"""Run-length coding with runs capped at 254 (paper §2.4, step 3).
+
+The paper modifies classic RLE so that "the 255th character never appears"
+in the coded output: byte value 255 is reserved as the chunk terminator
+that makes the joint Huffman stream resynchronizable.  This module encodes
+move-to-front output into the alphabet ``0..254``:
+
+* value 254 is an escape; ``(254, 0)`` encodes a literal 254 and
+  ``(254, 1)`` a literal 255 (both are rare after MTF),
+* ``(254, c)`` with ``2 <= c <= 254`` encodes a run of ``c`` zeros —
+  runs of at most 254, exactly as the paper prescribes; longer runs split,
+* every other byte stands for itself.
+
+Zero-runs shorter than :data:`MIN_RUN` are cheaper raw, so they stay raw.
+"""
+
+from __future__ import annotations
+
+from .base import CorruptStreamError
+
+__all__ = ["rle_encode", "rle_decode", "ESCAPE", "MAX_RUN", "MIN_RUN"]
+
+ESCAPE = 254
+MAX_RUN = 254
+MIN_RUN = 3
+
+
+def rle_encode(data: bytes) -> bytes:
+    """Encode ``data`` (any bytes) into the 0..254 alphabet."""
+    out = bytearray()
+    n = len(data)
+    position = 0
+    while position < n:
+        byte = data[position]
+        if byte == 0:
+            run = 1
+            while position + run < n and data[position + run] == 0 and run < MAX_RUN:
+                run += 1
+            if run >= MIN_RUN:
+                out.append(ESCAPE)
+                out.append(run)
+            else:
+                out += b"\x00" * run
+            position += run
+        elif byte >= ESCAPE:
+            out.append(ESCAPE)
+            out.append(byte - ESCAPE)  # 0 -> literal 254, 1 -> literal 255
+            position += 1
+        else:
+            out.append(byte)
+            position += 1
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> bytes:
+    """Invert :func:`rle_encode`; raises on 255 or truncated escapes."""
+    out = bytearray()
+    n = len(data)
+    position = 0
+    while position < n:
+        byte = data[position]
+        if byte == 255:
+            raise CorruptStreamError("reserved byte 255 inside RLE payload")
+        if byte == ESCAPE:
+            if position + 1 >= n:
+                raise CorruptStreamError("truncated escape sequence")
+            argument = data[position + 1]
+            if argument == 0:
+                out.append(254)
+            elif argument == 1:
+                out.append(255)
+            elif argument == 255:
+                raise CorruptStreamError("reserved byte 255 inside RLE payload")
+            else:
+                out += b"\x00" * argument
+            position += 2
+        else:
+            out.append(byte)
+            position += 1
+    return bytes(out)

@@ -1,0 +1,160 @@
+"""Framed streaming compression over any block codec.
+
+The paper's pipeline consumes a *stream* cut into 128 KB blocks (§2.5).
+This module packages that pattern as a reusable incremental API, so
+applications can push bytes of any granularity and pull framed compressed
+output — without holding the whole stream in memory:
+
+* :class:`StreamingCompressor` — ``write(data)`` buffers until a full
+  block is available, emits one self-delimiting frame per block;
+  ``flush()`` frames the partial tail.  Each frame may even use a
+  *different* method (the adaptive use case): pass a ``method_picker``
+  callable and it is consulted per block.
+* :class:`StreamingDecompressor` — feed arbitrary byte chunks of the
+  framed stream; decoded data comes out as it completes.  Framing is
+  self-describing, so the decompressor needs no out-of-band state.
+
+Frame layout::
+
+    varint  method_name_length | method_name | varint payload_length | payload
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .base import CorruptStreamError
+from .registry import get_codec
+from .varint import read_varint, write_varint
+
+__all__ = ["StreamingCompressor", "StreamingDecompressor", "DEFAULT_STREAM_BLOCK"]
+
+DEFAULT_STREAM_BLOCK = 128 * 1024
+_MAX_METHOD_NAME = 64
+
+
+class StreamingCompressor:
+    """Incremental compressor emitting self-delimiting frames."""
+
+    def __init__(
+        self,
+        method: str = "lempel-ziv",
+        block_size: int = DEFAULT_STREAM_BLOCK,
+        method_picker: Optional[Callable[[bytes], str]] = None,
+    ) -> None:
+        if block_size < 1024:
+            raise ValueError("block_size must be at least 1 KB")
+        get_codec(method)  # validate eagerly
+        self.method = method
+        self.block_size = block_size
+        self.method_picker = method_picker
+        self._pending = bytearray()
+        self._finished = False
+        self.frames_emitted = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def write(self, data: bytes) -> bytes:
+        """Accept input; returns any complete frames produced."""
+        if self._finished:
+            raise ValueError("compressor already flushed")
+        self._pending += data
+        self.bytes_in += len(data)
+        out = bytearray()
+        while len(self._pending) >= self.block_size:
+            block = bytes(self._pending[: self.block_size])
+            del self._pending[: self.block_size]
+            out += self._frame(block)
+        self.bytes_out += len(out)
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Frame the partial tail and close the stream."""
+        if self._finished:
+            return b""
+        self._finished = True
+        if not self._pending:
+            return b""
+        block = bytes(self._pending)
+        self._pending.clear()
+        frame = self._frame(block)
+        self.bytes_out += len(frame)
+        return bytes(frame)
+
+    def _frame(self, block: bytes) -> bytearray:
+        method = self.method
+        if self.method_picker is not None:
+            method = self.method_picker(block)
+        payload = get_codec(method).compress(block)
+        frame = bytearray()
+        name = method.encode()
+        write_varint(frame, len(name))
+        frame += name
+        write_varint(frame, len(payload))
+        frame += payload
+        self.frames_emitted += 1
+        return frame
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/original bytes so far (framing overhead included)."""
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in
+
+
+class StreamingDecompressor:
+    """Incremental decoder for :class:`StreamingCompressor` output."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def write(self, data: bytes) -> bytes:
+        """Accept framed bytes; returns all newly completed plaintext."""
+        self._buffer += data
+        out = bytearray()
+        while True:
+            frame = self._try_frame()
+            if frame is None:
+                break
+            out += frame
+        return bytes(out)
+
+    def _try_frame(self) -> Optional[bytes]:
+        buffer = self._buffer
+        try:
+            name_length, offset = read_varint(buffer, 0)
+        except CorruptStreamError:
+            return None  # header not complete yet
+        if name_length == 0 or name_length > _MAX_METHOD_NAME:
+            raise CorruptStreamError("implausible method-name length in frame")
+        if len(buffer) < offset + name_length:
+            return None
+        try:
+            method = bytes(buffer[offset : offset + name_length]).decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CorruptStreamError("non-ASCII method name in frame") from exc
+        offset += name_length
+        try:
+            payload_length, offset = read_varint(buffer, offset)
+        except CorruptStreamError:
+            return None
+        if len(buffer) < offset + payload_length:
+            return None
+        payload = bytes(buffer[offset : offset + payload_length])
+        del buffer[: offset + payload_length]
+        self.frames_decoded += 1
+        return get_codec(method).decompress(payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Assert the stream ended cleanly at a frame boundary."""
+        if self._buffer:
+            raise CorruptStreamError(
+                f"{len(self._buffer)} trailing bytes mid-frame at stream end"
+            )

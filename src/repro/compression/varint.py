@@ -1,0 +1,59 @@
+"""LEB128-style variable-length integers for codec headers.
+
+Every codec in this package stores the original payload length (and the
+Burrows-Wheeler pipeline stores chunk geometry) as varints so small blocks
+do not pay a fixed 8-byte header tax.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from .base import CorruptStreamError
+
+__all__ = ["write_varint", "read_varint", "varint_size"]
+
+_Buffer = Union[bytes, bytearray, memoryview]
+
+
+def write_varint(buffer: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) to ``buffer`` as a LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def read_varint(data: _Buffer, offset: int) -> Tuple[int, int]:
+    """Read a varint at ``offset``; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise CorruptStreamError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise CorruptStreamError("varint too large")
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes :func:`write_varint` will emit for ``value``."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

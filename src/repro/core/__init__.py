@@ -1,0 +1,55 @@
+"""The paper's primary contribution: table-driven configurable compression.
+
+Monitoring (reducing speed, end-to-end bandwidth), the 4 KB Lempel-Ziv
+sampling probe, the Figure 1 decision table with the §2.5 threshold
+algorithm, pluggable policies (adaptive vs. fixed baselines), and the
+128 KB block pipeline that ties them together over a simulated link.
+"""
+
+from .calibration import (
+    OperatingPoint,
+    ThresholdCalibration,
+    calibrate_thresholds,
+)
+from .decision import (
+    FIGURE1_TABLE,
+    Decision,
+    DecisionInputs,
+    DecisionThresholds,
+    Rating,
+    select_method,
+)
+from .monitor import ReducingSpeedMonitor
+from .pipeline import (
+    DEFAULT_BLOCK_SIZE,
+    METHOD_CODES,
+    AdaptivePipeline,
+    BlockRecord,
+    StreamResult,
+)
+from .policy import AdaptivePolicy, CompressionPolicy, FixedPolicy
+from .sampler import DEFAULT_SAMPLE_SIZE, LzSampler, SampleResult
+
+__all__ = [
+    "AdaptivePipeline",
+    "AdaptivePolicy",
+    "BlockRecord",
+    "CompressionPolicy",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_SAMPLE_SIZE",
+    "Decision",
+    "DecisionInputs",
+    "DecisionThresholds",
+    "FIGURE1_TABLE",
+    "FixedPolicy",
+    "LzSampler",
+    "OperatingPoint",
+    "METHOD_CODES",
+    "Rating",
+    "ReducingSpeedMonitor",
+    "SampleResult",
+    "StreamResult",
+    "ThresholdCalibration",
+    "calibrate_thresholds",
+    "select_method",
+]

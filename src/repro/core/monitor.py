@@ -1,0 +1,92 @@
+"""Continuous resource monitoring for the selector (paper §2.5).
+
+"In this algorithm, we use the term 'reducing speed' to capture the speed
+at which (given currently available CPU cycles) a certain method is able
+to compress data.  This speed is measured continually, as subsequent
+blocks of data are compressed."
+
+:class:`ReducingSpeedMonitor` keeps a smoothed per-codec estimate of that
+metric, seeded at infinity for the first block exactly as the pseudocode
+prescribes ("Assume the reducing size speed of first block is infinity").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..compression.base import CompressionResult
+
+__all__ = ["ReducingSpeedMonitor"]
+
+
+class ReducingSpeedMonitor:
+    """EWMA of bytes-removed-per-second, per codec.
+
+    Observations come from both sampling runs (the 4 KB fork of §2.5) and
+    full-block compressions, so CPU-load changes show up within a block or
+    two.  A codec never observed reports ``math.inf`` — the paper's
+    optimistic initial assumption.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._speeds: Dict[str, float] = {}
+        self._ratios: Dict[str, float] = {}
+
+    def observe(self, result: CompressionResult) -> None:
+        """Fold one timed compression into the per-codec estimates."""
+        speed = result.reducing_speed
+        if math.isinf(speed):
+            # A zero-duration measurement carries no information.
+            return
+        previous = self._speeds.get(result.codec_name)
+        if previous is None or math.isinf(previous):
+            self._speeds[result.codec_name] = speed
+        else:
+            self._speeds[result.codec_name] = previous + self.alpha * (speed - previous)
+        previous_ratio = self._ratios.get(result.codec_name)
+        if previous_ratio is None:
+            self._ratios[result.codec_name] = result.ratio
+        else:
+            self._ratios[result.codec_name] = previous_ratio + self.alpha * (
+                result.ratio - previous_ratio
+            )
+
+    def observe_raw(self, codec_name: str, bytes_saved: int, seconds: float) -> None:
+        """Fold a raw speed observation (does not touch the ratio estimate)."""
+        if seconds <= 0 or bytes_saved < 0:
+            return
+        speed = bytes_saved / seconds
+        previous = self._speeds.get(codec_name)
+        if previous is None or math.isinf(previous):
+            self._speeds[codec_name] = speed
+        else:
+            self._speeds[codec_name] = previous + self.alpha * (speed - previous)
+
+    def observe_speed(self, codec_name: str, speed: float) -> None:
+        """Fold an already-computed reducing-speed sample (bytes/second)."""
+        if speed < 0 or math.isinf(speed) or math.isnan(speed):
+            return
+        previous = self._speeds.get(codec_name)
+        if previous is None or math.isinf(previous):
+            self._speeds[codec_name] = speed
+        else:
+            self._speeds[codec_name] = previous + self.alpha * (speed - previous)
+
+    def reducing_speed(self, codec_name: str) -> float:
+        """Current estimate; ``inf`` until first observation (pseudocode line 1)."""
+        return self._speeds.get(codec_name, math.inf)
+
+    def ratio(self, codec_name: str) -> Optional[float]:
+        """Smoothed compression ratio, or None if never observed."""
+        return self._ratios.get(codec_name)
+
+    def observed(self, codec_name: str) -> bool:
+        return codec_name in self._speeds
+
+    def reset(self) -> None:
+        self._speeds.clear()
+        self._ratios.clear()

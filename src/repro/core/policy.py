@@ -1,0 +1,76 @@
+"""Compression policies: adaptive (the contribution) and fixed baselines.
+
+The paper's evaluation implicitly compares the adaptive selector against
+"non-adaptive approaches" — always using one method, or never compressing.
+Expressing all of these behind one interface lets the pipeline,
+middleware, and the headline end-to-end benchmark treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..compression.registry import get_codec
+from .decision import Decision, DecisionInputs, DecisionThresholds, select_method
+from .monitor import ReducingSpeedMonitor
+from .sampler import SampleResult
+
+__all__ = ["CompressionPolicy", "AdaptivePolicy", "FixedPolicy"]
+
+
+class CompressionPolicy(Protocol):
+    """Chooses a compression method for each block."""
+
+    def choose(
+        self,
+        block_size: int,
+        sending_time: float,
+        monitor: ReducingSpeedMonitor,
+        sample: Optional[SampleResult],
+    ) -> Decision:
+        """Return the decision for the block about to be compressed."""
+        ...
+
+
+class AdaptivePolicy:
+    """The paper's table-driven selector (§2.5)."""
+
+    def __init__(self, thresholds: DecisionThresholds = DecisionThresholds()) -> None:
+        self.thresholds = thresholds
+
+    def choose(
+        self,
+        block_size: int,
+        sending_time: float,
+        monitor: ReducingSpeedMonitor,
+        sample: Optional[SampleResult],
+    ) -> Decision:
+        inputs = DecisionInputs(
+            block_size=block_size,
+            sending_time=sending_time,
+            lz_reducing_speed=monitor.reducing_speed("lempel-ziv"),
+            sampled_ratio=sample.ratio if sample is not None else None,
+        )
+        return select_method(inputs, self.thresholds)
+
+
+class FixedPolicy:
+    """Always use one method — the non-adaptive baseline."""
+
+    def __init__(self, method: str) -> None:
+        get_codec(method)  # validate the name eagerly
+        self.method = method
+
+    def choose(
+        self,
+        block_size: int,
+        sending_time: float,
+        monitor: ReducingSpeedMonitor,
+        sample: Optional[SampleResult],
+    ) -> Decision:
+        return Decision(
+            method=self.method,
+            lz_reduce_time=float("nan"),
+            sending_time=sending_time,
+            effective_ratio=sample.ratio if sample is not None else 1.0,
+        )

@@ -1,0 +1,41 @@
+"""Dataset substrates: PBIO-like binary interchange, the paper's two
+workload generators (commercial OIS transactions and molecular-dynamics
+trajectories), and data-characteristic analysis."""
+
+from .analysis import (
+    DataProfile,
+    profile,
+    recommended_methods,
+    repetition_fraction,
+    shannon_entropy,
+)
+from .commercial import AIRPORTS, EQUIPMENT, STATUSES, CommercialDataGenerator
+from .molecular import FRAME_FORMAT, MolecularDataGenerator
+from .pbio import (
+    Field,
+    FieldType,
+    PbioError,
+    RecordFormat,
+    decode_records,
+    encode_records,
+)
+
+__all__ = [
+    "AIRPORTS",
+    "CommercialDataGenerator",
+    "DataProfile",
+    "EQUIPMENT",
+    "FRAME_FORMAT",
+    "Field",
+    "FieldType",
+    "MolecularDataGenerator",
+    "PbioError",
+    "RecordFormat",
+    "STATUSES",
+    "decode_records",
+    "encode_records",
+    "profile",
+    "recommended_methods",
+    "repetition_fraction",
+    "shannon_entropy",
+]

@@ -1,0 +1,116 @@
+"""Data-characteristic analysis for method selection (paper §4.1).
+
+"The consequent approach taken in our work is one that samples data as it
+is being produced and transported, to detect whether data has low entropy,
+string repetitions, or both."  This module provides exactly those two
+detectors plus the qualitative mapping of Figure 1:
+
+* :func:`shannon_entropy` — order-0 entropy in bits/byte (low entropy →
+  Huffman/arithmetic do well),
+* :func:`repetition_fraction` — fraction of positions covered by repeated
+  4-grams (string repetitions → Lempel-Ziv/Burrows-Wheeler do well),
+* :func:`profile` / :func:`recommended_methods` — combine both into the
+  paper's data-characteristic classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DataProfile",
+    "shannon_entropy",
+    "repetition_fraction",
+    "profile",
+    "recommended_methods",
+]
+
+#: Below this many bits/byte the data counts as "low entropy".
+LOW_ENTROPY_THRESHOLD = 6.0
+#: Above this repeated-4-gram fraction the data counts as "repetitive".
+REPETITION_THRESHOLD = 0.5
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Order-0 Shannon entropy of ``data`` in bits per byte (0..8)."""
+    if not data:
+        return 0.0
+    counts = np.bincount(np.frombuffer(data, dtype=np.uint8), minlength=256)
+    probabilities = counts[counts > 0] / len(data)
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def repetition_fraction(data: bytes, gram: int = 4) -> float:
+    """Fraction of ``gram``-gram positions whose gram occurred earlier.
+
+    A cheap proxy for Lempel-Ziv compressibility: 1.0 means every window
+    has been seen before (pure repetition), 0.0 means no window repeats.
+    """
+    n = len(data)
+    if n < gram + 1:
+        return 0.0
+    if n > 1 << 20:
+        raise ValueError("repetition_fraction is meant for samples, not whole files")
+    # Vectorized rolling hash over 4-byte windows.
+    array = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+    window = np.zeros(n - gram + 1, dtype=np.uint64)
+    for k in range(gram):
+        window = (window << np.uint64(8)) | array[k : k + len(window)]
+    _, first_index = np.unique(window, return_index=True)
+    repeated = len(window) - len(first_index)
+    return repeated / len(window)
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """Summary of a data sample's compressibility characteristics."""
+
+    entropy_bits_per_byte: float
+    repetition: float
+
+    @property
+    def low_entropy(self) -> bool:
+        return self.entropy_bits_per_byte < LOW_ENTROPY_THRESHOLD
+
+    @property
+    def repetitive(self) -> bool:
+        return self.repetition > REPETITION_THRESHOLD
+
+    @property
+    def characteristic(self) -> str:
+        """One of ``both``, ``repetitive``, ``low-entropy``, ``incompressible``."""
+        if self.low_entropy and self.repetitive:
+            return "both"
+        if self.repetitive:
+            return "repetitive"
+        if self.low_entropy:
+            return "low-entropy"
+        return "incompressible"
+
+
+def profile(data: bytes) -> DataProfile:
+    """Profile a sample (entropy + repetition)."""
+    return DataProfile(
+        entropy_bits_per_byte=shannon_entropy(data),
+        repetition=repetition_fraction(data),
+    )
+
+
+def recommended_methods(data_profile: DataProfile) -> List[str]:
+    """Methods suited to the sample, best first (Figure 1 / §4.1).
+
+    "Huffman codes and Arithmetic codes are suitable for low entropy data,
+    while Lempel-Ziv methods are good at handling data with string
+    repetitions.  Burrows-Wheeler handles both of these cases."
+    """
+    characteristic = data_profile.characteristic
+    if characteristic == "both":
+        return ["burrows-wheeler", "lempel-ziv", "huffman", "arithmetic"]
+    if characteristic == "repetitive":
+        return ["burrows-wheeler", "lempel-ziv"]
+    if characteristic == "low-entropy":
+        return ["burrows-wheeler", "huffman", "arithmetic"]
+    return ["none"]

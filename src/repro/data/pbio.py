@@ -1,0 +1,254 @@
+"""PBIO-like self-describing binary record format (paper ref [35]).
+
+The paper's binary datasets are "represented in an efficient format
+developed by our group, termed PBIO" — a format in which record layouts
+are declared once and records are exchanged as compact packed binary,
+letting heterogeneous endpoints interpret each other's data.
+
+This module implements the subset the experiments need:
+
+* :class:`RecordFormat` — a named, ordered list of typed fields,
+* :func:`encode_records` / :func:`decode_records` — pack/unpack a list of
+  record dicts into a single self-describing buffer (the format metadata
+  travels in a header, so a receiver needs no out-of-band schema),
+* fixed little-endian scalar layouts plus varint-length-prefixed strings,
+  bytes, and numeric arrays.
+
+The molecular-dynamics generator uses it to produce the paper's binary
+science data; the middleware uses it as the event payload encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..compression.varint import read_varint, write_varint
+
+__all__ = [
+    "FieldType",
+    "Field",
+    "RecordFormat",
+    "PbioError",
+    "encode_records",
+    "decode_records",
+]
+
+_MAGIC = b"PBI1"
+
+
+class PbioError(Exception):
+    """Malformed PBIO buffer or record/schema mismatch."""
+
+
+class FieldType(Enum):
+    """Wire types supported by the format."""
+
+    INT32 = 1
+    INT64 = 2
+    FLOAT32 = 3
+    FLOAT64 = 4
+    STRING = 5
+    BYTES = 6
+    FLOAT32_ARRAY = 7
+    FLOAT64_ARRAY = 8
+    INT32_ARRAY = 9
+
+    @property
+    def is_array(self) -> bool:
+        return self in (
+            FieldType.FLOAT32_ARRAY,
+            FieldType.FLOAT64_ARRAY,
+            FieldType.INT32_ARRAY,
+        )
+
+
+_SCALAR_STRUCTS = {
+    FieldType.INT32: struct.Struct("<i"),
+    FieldType.INT64: struct.Struct("<q"),
+    FieldType.FLOAT32: struct.Struct("<f"),
+    FieldType.FLOAT64: struct.Struct("<d"),
+}
+
+_ARRAY_ITEM_STRUCTS = {
+    FieldType.FLOAT32_ARRAY: struct.Struct("<f"),
+    FieldType.FLOAT64_ARRAY: struct.Struct("<d"),
+    FieldType.INT32_ARRAY: struct.Struct("<i"),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One typed field of a record format."""
+
+    name: str
+    type: FieldType
+
+    def __post_init__(self) -> None:
+        if not self.name or len(self.name.encode()) > 255:
+            raise PbioError("field names must be 1..255 encoded bytes")
+
+
+class RecordFormat:
+    """An ordered, named collection of fields — the PBIO schema unit."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, FieldType]]) -> None:
+        if not name or len(name.encode()) > 255:
+            raise PbioError("format names must be 1..255 encoded bytes")
+        if not fields:
+            raise PbioError("a record format needs at least one field")
+        self.name = name
+        self.fields = [Field(field_name, field_type) for field_name, field_type in fields]
+        seen = set()
+        for field in self.fields:
+            if field.name in seen:
+                raise PbioError(f"duplicate field name {field.name!r}")
+            seen.add(field.name)
+
+    def field_names(self) -> List[str]:
+        return [field.name for field in self.fields]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordFormat):
+            return NotImplemented
+        return self.name == other.name and self.fields == other.fields
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(f"{f.name}:{f.type.name}" for f in self.fields)
+        return f"<RecordFormat {self.name} [{names}]>"
+
+    # -- schema (de)serialization ---------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        encoded_name = self.name.encode()
+        out.append(len(encoded_name))
+        out += encoded_name
+        write_varint(out, len(self.fields))
+        for field in self.fields:
+            encoded_field = field.name.encode()
+            out.append(len(encoded_field))
+            out += encoded_field
+            out.append(field.type.value)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int) -> Tuple["RecordFormat", int]:
+        try:
+            name_length = data[offset]
+            offset += 1
+            name = bytes(data[offset : offset + name_length]).decode()
+            offset += name_length
+            field_count, offset = read_varint(data, offset)
+            fields: List[Tuple[str, FieldType]] = []
+            for _ in range(field_count):
+                field_name_length = data[offset]
+                offset += 1
+                field_name = bytes(data[offset : offset + field_name_length]).decode()
+                offset += field_name_length
+                field_type = FieldType(data[offset])
+                offset += 1
+                fields.append((field_name, field_type))
+        except (IndexError, ValueError, UnicodeDecodeError) as exc:
+            raise PbioError(f"malformed format header: {exc}") from exc
+        return cls(name, fields), offset
+
+
+def encode_records(fmt: RecordFormat, records: Sequence[Dict[str, Any]]) -> bytes:
+    """Pack ``records`` (dicts keyed by field name) into one buffer."""
+    out = bytearray(_MAGIC)
+    out += fmt.to_bytes()
+    write_varint(out, len(records))
+    for record in records:
+        for field in fmt.fields:
+            try:
+                value = record[field.name]
+            except KeyError:
+                raise PbioError(
+                    f"record missing field {field.name!r} of format {fmt.name!r}"
+                ) from None
+            _encode_value(out, field.type, value)
+    return bytes(out)
+
+
+def decode_records(data: bytes) -> Tuple[RecordFormat, List[Dict[str, Any]]]:
+    """Invert :func:`encode_records`."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise PbioError("not a PBIO buffer (bad magic)")
+    fmt, offset = RecordFormat.from_bytes(data, len(_MAGIC))
+    record_count, offset = read_varint(data, offset)
+    records: List[Dict[str, Any]] = []
+    for _ in range(record_count):
+        record: Dict[str, Any] = {}
+        for field in fmt.fields:
+            value, offset = _decode_value(data, offset, field.type)
+            record[field.name] = value
+        records.append(record)
+    if offset != len(data):
+        raise PbioError("trailing bytes after last record")
+    return fmt, records
+
+
+def _encode_value(out: bytearray, field_type: FieldType, value: Any) -> None:
+    if field_type in _SCALAR_STRUCTS:
+        try:
+            out += _SCALAR_STRUCTS[field_type].pack(value)
+        except struct.error as exc:
+            raise PbioError(f"cannot pack {value!r} as {field_type.name}: {exc}") from exc
+    elif field_type is FieldType.STRING:
+        encoded = str(value).encode()
+        write_varint(out, len(encoded))
+        out += encoded
+    elif field_type is FieldType.BYTES:
+        payload = bytes(value)
+        write_varint(out, len(payload))
+        out += payload
+    elif field_type.is_array:
+        item_struct = _ARRAY_ITEM_STRUCTS[field_type]
+        items = list(value)
+        write_varint(out, len(items))
+        for item in items:
+            try:
+                out += item_struct.pack(item)
+            except struct.error as exc:
+                raise PbioError(
+                    f"cannot pack array item {item!r} as {field_type.name}: {exc}"
+                ) from exc
+    else:  # pragma: no cover - exhaustive enum
+        raise PbioError(f"unsupported field type {field_type}")
+
+
+def _decode_value(data: bytes, offset: int, field_type: FieldType) -> Tuple[Any, int]:
+    try:
+        if field_type in _SCALAR_STRUCTS:
+            scalar_struct = _SCALAR_STRUCTS[field_type]
+            value = scalar_struct.unpack_from(data, offset)[0]
+            return value, offset + scalar_struct.size
+        if field_type is FieldType.STRING:
+            length, offset = read_varint(data, offset)
+            raw = bytes(data[offset : offset + length])
+            if len(raw) != length:
+                raise PbioError("truncated string")
+            return raw.decode(), offset + length
+        if field_type is FieldType.BYTES:
+            length, offset = read_varint(data, offset)
+            raw = bytes(data[offset : offset + length])
+            if len(raw) != length:
+                raise PbioError("truncated bytes field")
+            return raw, offset + length
+        if field_type.is_array:
+            item_struct = _ARRAY_ITEM_STRUCTS[field_type]
+            count, offset = read_varint(data, offset)
+            end = offset + count * item_struct.size
+            if end > len(data):
+                raise PbioError("truncated array field")
+            values = [
+                item_struct.unpack_from(data, offset + i * item_struct.size)[0]
+                for i in range(count)
+            ]
+            return values, end
+    except struct.error as exc:
+        raise PbioError(f"truncated value: {exc}") from exc
+    raise PbioError(f"unsupported field type {field_type}")  # pragma: no cover

@@ -1,0 +1,102 @@
+"""End-to-end replays: Figures 7-12.
+
+One shared runner builds the MBone-loaded 100 MBit scenario from a
+:class:`~repro.experiments.config.ReplayConfig`, streams a dataset through
+the adaptive pipeline in deterministic (modeled-cost) mode, and hands back
+the :class:`~repro.core.pipeline.StreamResult` whose series methods *are*
+the figures:
+
+* Figure 7  — the load trace itself (:func:`figure7_trace_series`),
+* Figure 8  — ``result.method_series()`` on commercial data,
+* Figure 9  — ``result.compression_time_series()``,
+* Figure 10 — ``result.block_size_series()``,
+* Figure 11 — ``result.method_series()`` on molecular data,
+* Figure 12 — ``result.block_size_series()`` on molecular data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.pipeline import AdaptivePipeline, StreamResult
+from ..core.policy import CompressionPolicy
+from ..data.commercial import CommercialDataGenerator
+from ..data.molecular import MolecularDataGenerator
+from ..netsim.cpu import DEFAULT_COSTS, SUN_FIRE, CpuModel
+from ..netsim.link import PAPER_LINKS, SimulatedLink
+from ..netsim.loadtrace import LoadTrace, mbone_trace
+from .config import FIG8_CONFIG, FIG11_CONFIG, MBONE_SCALE, TRACE_DURATION, ReplayConfig
+
+__all__ = [
+    "build_trace",
+    "commercial_blocks",
+    "molecular_blocks",
+    "run_replay",
+    "figure7_trace_series",
+    "figure8_commercial_replay",
+    "figure11_molecular_replay",
+]
+
+
+def build_trace(config: ReplayConfig) -> LoadTrace:
+    """The scaled (and possibly shifted) MBone trace for a replay."""
+    trace = mbone_trace(duration=TRACE_DURATION, seed=config.trace_seed).scaled(MBONE_SCALE)
+    if config.trace_offset > 0:
+        trace = trace.shifted(config.trace_offset)
+    return trace
+
+
+def commercial_blocks(config: ReplayConfig, seed: int = 2004) -> List[bytes]:
+    """The commercial transaction stream cut into pipeline blocks."""
+    generator = CommercialDataGenerator(seed=seed)
+    return list(generator.stream(config.block_size, config.block_count))
+
+
+def molecular_blocks(
+    config: ReplayConfig, atom_count: int = 4096, seed: int = 3
+) -> List[bytes]:
+    """The molecular trajectory stream cut into pipeline blocks."""
+    generator = MolecularDataGenerator(atom_count=atom_count, seed=seed)
+    return list(generator.stream(config.block_size, config.block_count))
+
+
+def run_replay(
+    blocks: List[bytes],
+    config: ReplayConfig,
+    policy: Optional[CompressionPolicy] = None,
+    cpu: Optional[CpuModel] = None,
+) -> StreamResult:
+    """Run one deterministic replay of ``blocks`` under ``config``."""
+    link = SimulatedLink(
+        PAPER_LINKS[config.link],
+        seed=config.link_seed,
+        congestion_per_connection=config.congestion_per_connection,
+    )
+    pipeline = AdaptivePipeline(
+        policy=policy,
+        block_size=config.block_size,
+        cost_model=DEFAULT_COSTS,
+        cpu=cpu if cpu is not None else SUN_FIRE,
+    )
+    return pipeline.run(
+        blocks,
+        link,
+        load=build_trace(config),
+        production_interval=config.production_interval,
+        pipelined=config.pipelined,
+    )
+
+
+def figure7_trace_series(step: float = 1.0, seed: int = FIG8_CONFIG.trace_seed) -> List[Tuple[float, float]]:
+    """The raw (unscaled) MBone connection counts over time — Figure 7."""
+    return list(mbone_trace(duration=TRACE_DURATION, seed=seed).sample(step))
+
+
+def figure8_commercial_replay(config: ReplayConfig = FIG8_CONFIG) -> StreamResult:
+    """The commercial-data replay behind Figures 8, 9 and 10."""
+    return run_replay(commercial_blocks(config), config)
+
+
+def figure11_molecular_replay(config: ReplayConfig = FIG11_CONFIG) -> StreamResult:
+    """The molecular-data replay behind Figures 11 and 12."""
+    return run_replay(molecular_blocks(config), config)

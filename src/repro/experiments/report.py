@@ -1,0 +1,174 @@
+"""Full reproduction report: every figure regenerated into one document.
+
+:func:`generate_report` runs all the figure harnesses and renders a
+markdown document with measured-vs-paper rows — what EXPERIMENTS.md
+records statically, regenerated live on the current machine.  Exposed on
+the CLI as ``repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.pipeline import StreamResult
+from .config import FIG8_CONFIG, ReplayConfig
+from .endtoend import PAPER_HEADLINE, headline_comparison
+from .links import PAPER_FIG5, figure5_link_speeds
+from .micro import (
+    METHOD_ORDER,
+    PAPER_FIG2_PERCENT,
+    figure1_rows,
+    figure2_ratios,
+    figure4_reducing_speeds,
+    figure6_molecular_ratios,
+)
+from .replay import (
+    commercial_blocks,
+    figure7_trace_series,
+    molecular_blocks,
+    run_replay,
+)
+
+__all__ = ["generate_report"]
+
+_MB = float(1 << 20)
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return lines
+
+
+def _replay_section(title: str, result: StreamResult) -> List[str]:
+    counts = result.method_counts()
+    lines = [f"## {title}", ""]
+    lines += _table(
+        ["metric", "value"],
+        [
+            ["blocks", str(len(result.records))],
+            ["overall ratio", f"{result.overall_ratio:.3f}"],
+            ["total time (s)", f"{result.total_time:.2f}"],
+            ["compression time fraction", f"{result.compression_time_fraction:.3f}"],
+            ["method counts", str(counts)],
+        ],
+    )
+    return lines
+
+
+def generate_report(
+    replay_config: Optional[ReplayConfig] = None,
+    headline_config: Optional[ReplayConfig] = None,
+    link_transfers: int = 300,
+) -> str:
+    """Run every harness and return the markdown report."""
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        "Regenerated live by `repro report`; compare against EXPERIMENTS.md.",
+        "",
+        "## Figure 1 — decision table",
+        "",
+    ]
+    lines += _table(
+        ["characteristic"] + METHOD_ORDER,
+        [
+            [label] + [cells[m] for m in METHOD_ORDER]
+            for label, cells in figure1_rows()
+        ],
+    )
+
+    lines += ["## Figures 2-3 — commercial ratios and times", ""]
+    micro = figure2_ratios()
+    lines += _table(
+        ["method", "measured %", "paper %", "compress ms", "decompress ms"],
+        [
+            [
+                method,
+                f"{result.percent:.1f}",
+                f"{PAPER_FIG2_PERCENT[method]:.0f}",
+                f"{result.compress_seconds * 1e3:.1f}",
+                f"{result.decompress_seconds * 1e3:.1f}",
+            ]
+            for method, result in micro.items()
+        ],
+    )
+
+    lines += ["## Figure 4 — reducing speeds (MB removed / s)", ""]
+    speeds = figure4_reducing_speeds()
+    lines += _table(
+        ["machine"] + METHOD_ORDER,
+        [
+            [machine] + [f"{by_method[m] / _MB:.3f}" for m in METHOD_ORDER]
+            for machine, by_method in speeds.items()
+        ],
+    )
+
+    lines += ["## Figure 5 — link speeds", ""]
+    measured_links = figure5_link_speeds(transfers=link_transfers)
+    lines += _table(
+        ["link", "measured MB/s", "paper MB/s", "measured σ%", "paper σ%"],
+        [
+            [
+                name,
+                f"{measurement.mean_mb_per_s:.4f}",
+                f"{PAPER_FIG5[name][0]:.4f}",
+                f"{measurement.stddev_percent:.2f}",
+                f"{PAPER_FIG5[name][1]:.2f}",
+            ]
+            for name, measurement in measured_links.items()
+        ],
+    )
+
+    lines += ["## Figure 6 — molecular fields (compressed %)", ""]
+    molecular = figure6_molecular_ratios()
+    lines += _table(
+        ["field"] + METHOD_ORDER,
+        [
+            [field] + [f"{by_method[m].percent:.1f}" for m in METHOD_ORDER]
+            for field, by_method in molecular.items()
+        ],
+    )
+
+    lines += ["## Figure 7 — MBone trace", ""]
+    series = figure7_trace_series(step=10.0)
+    lines += _table(
+        ["t (s)", "connections"],
+        [[f"{t:.0f}", f"{c:.0f}"] for t, c in series],
+    )
+
+    config = replay_config if replay_config is not None else FIG8_CONFIG
+    lines += _replay_section(
+        "Figures 8-10 — commercial replay", run_replay(commercial_blocks(config), config)
+    )
+    lines += _replay_section(
+        "Figures 11-12 — molecular replay", run_replay(molecular_blocks(config), config)
+    )
+
+    lines += ["## Headline — bulk transfer (§5)", ""]
+    rows = headline_comparison(headline_config, baselines=["none"])
+    lines += _table(
+        ["dataset", "policy", "total s", "comp fraction", "ratio"],
+        [
+            [
+                row.dataset,
+                row.policy,
+                f"{row.total_seconds:.2f}",
+                f"{row.compression_fraction:.2f}",
+                f"{row.overall_ratio:.2f}",
+            ]
+            for row in rows
+        ],
+    )
+    lines += [
+        "Paper reference: commercial "
+        f"{PAPER_HEADLINE[('commercial', 'adaptive')]} s adaptive vs "
+        f"{PAPER_HEADLINE[('commercial', 'none')]} s uncompressed; molecular "
+        f"{PAPER_HEADLINE[('molecular', 'adaptive')]} s vs "
+        f"{PAPER_HEADLINE[('molecular', 'none')]} s.",
+        "",
+    ]
+    return "\n".join(lines)

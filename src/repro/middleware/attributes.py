@@ -1,0 +1,76 @@
+"""Quality attributes (paper §3.1).
+
+"ECho supports the definition and use of globally named and interpreted
+quality attributes.  Using attributes, ECho can transport performance
+information and/or dynamic change instructions, across end users and
+address spaces and across different implementation layers."
+
+:class:`QualityAttributes` is a named key/value store with change
+listeners.  The adaptive machinery uses it in both directions:
+
+* monitoring flows up — the transport publishes measured bandwidth, the
+  producer publishes sampling results and CPU load;
+* control flows down — the consumer publishes the compression method it
+  wants the producer-side handler chain to apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "QualityAttributes",
+    "ATTR_COMPRESSION_METHOD",
+    "ATTR_BANDWIDTH",
+    "ATTR_CPU_LOAD",
+    "ATTR_SAMPLED_RATIO",
+    "ATTR_LZ_REDUCING_SPEED",
+    "ATTR_COMPRESSION_SECONDS",
+    "ATTR_ORIGINAL_SIZE",
+    "ATTR_COMPRESSION_PARAMETERS",
+]
+
+# Globally interpreted attribute names (the paper's "globally named").
+ATTR_COMPRESSION_METHOD = "compression.method"
+ATTR_BANDWIDTH = "network.end_to_end_bandwidth"
+ATTR_CPU_LOAD = "cpu.load"
+ATTR_SAMPLED_RATIO = "compression.sampled_ratio"
+ATTR_LZ_REDUCING_SPEED = "compression.lz_reducing_speed"
+ATTR_COMPRESSION_SECONDS = "compression.elapsed_seconds"
+ATTR_ORIGINAL_SIZE = "compression.original_size"
+ATTR_COMPRESSION_PARAMETERS = "compression.parameters"
+
+Listener = Callable[[str, Any], None]
+
+
+class QualityAttributes:
+    """A shared, observable attribute namespace."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+        self._listeners: List[Listener] = []
+
+    def set(self, name: str, value: Any) -> None:
+        """Publish an attribute value and notify listeners."""
+        if not name:
+            raise ValueError("attribute names must be non-empty")
+        self._values[name] = value
+        for listener in list(self._listeners):
+            listener(name, value)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of all current attributes."""
+        return dict(self._values)
+
+    def subscribe(self, listener: Listener) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe

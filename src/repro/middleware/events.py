@@ -1,0 +1,41 @@
+"""Events — the unit of exchange in the ECho-like middleware (paper §3.1).
+
+An event carries an opaque payload (application data, typically
+PBIO-encoded), a free-form attribute map (the paper's *quality
+attributes* travel here when they are per-event), and bookkeeping set by
+the channel machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable event.  Handlers produce transformed copies."""
+
+    payload: bytes
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    channel_id: str = ""
+    sequence: int = 0
+    timestamp: float = 0.0
+
+    def with_payload(self, payload: bytes, **extra_attributes: Any) -> "Event":
+        """Copy with a new payload and optional added attributes."""
+        attributes = dict(self.attributes)
+        attributes.update(extra_attributes)
+        return replace(self, payload=payload, attributes=attributes)
+
+    def with_attributes(self, **extra_attributes: Any) -> "Event":
+        """Copy with added/overridden attributes."""
+        attributes = dict(self.attributes)
+        attributes.update(extra_attributes)
+        return replace(self, attributes=attributes)
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)

@@ -1,0 +1,197 @@
+"""Event handlers — computations applied in the data path (paper §3.1-3.2).
+
+"Handlers may transform events, reduce their sizes or enhance the
+information they contain, and they can even prevent events from being
+transported ...  They are the key to the integration of compression
+methods."
+
+A handler maps an :class:`~repro.middleware.events.Event` to a transformed
+event or ``None`` (drop).  :class:`CompressionHandler` and
+:class:`DecompressionHandler` are the pair the paper integrates; a couple
+of generic handlers (filter, tap) demonstrate the broader mechanism and
+are used in tests and examples.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from ..compression.registry import get_codec
+from ..netsim.cpu import CodecCostModel, CpuModel
+from .attributes import (
+    ATTR_COMPRESSION_METHOD,
+    ATTR_COMPRESSION_SECONDS,
+    ATTR_ORIGINAL_SIZE,
+)
+from .events import Event
+
+__all__ = [
+    "Handler",
+    "CompressionHandler",
+    "DecompressionHandler",
+    "FilterHandler",
+    "TapHandler",
+    "TunableCompressionHandler",
+]
+
+Handler = Callable[[Event], Optional[Event]]
+
+
+class CompressionHandler:
+    """Compress event payloads with a fixed method (producer side).
+
+    Each derived channel owns one of these; switching methods at runtime
+    means deriving (or re-subscribing to) a channel with a different
+    handler — exactly the §3.2 mechanism.  The handler annotates events
+    with the method name, original size, and compression time so the
+    consumer can decompress and the adaptive controller can observe costs.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        cost_model: Optional[CodecCostModel] = None,
+        cpu: Optional[CpuModel] = None,
+    ) -> None:
+        self.method = method
+        self.codec = get_codec(method)
+        self.cost_model = cost_model
+        self.cpu = cpu
+
+    def __call__(self, event: Event) -> Event:
+        if self.method == "none":
+            return event.with_attributes(
+                **{
+                    ATTR_COMPRESSION_METHOD: "none",
+                    ATTR_ORIGINAL_SIZE: event.size,
+                    ATTR_COMPRESSION_SECONDS: 0.0,
+                }
+            )
+        start = time.perf_counter()
+        payload = self.codec.compress(event.payload)
+        measured = time.perf_counter() - start
+        if self.cost_model is not None:
+            elapsed = self.cost_model.compression_time(self.method, event.size, self.cpu)
+        elif self.cpu is not None:
+            elapsed = self.cpu.scale_time(measured)
+        else:
+            elapsed = measured
+        return event.with_payload(
+            payload,
+            **{
+                ATTR_COMPRESSION_METHOD: self.method,
+                ATTR_ORIGINAL_SIZE: event.size,
+                ATTR_COMPRESSION_SECONDS: elapsed,
+            },
+        )
+
+
+class DecompressionHandler:
+    """Invert :class:`CompressionHandler` (consumer side).
+
+    The method name travels in the event attributes, so the consumer
+    always knows how to reconstruct the application data (§3.2: "the
+    consumer selected the specific new data compression method, it knows
+    which decompression method to apply").
+    """
+
+    def __call__(self, event: Event) -> Event:
+        method = event.attributes.get(ATTR_COMPRESSION_METHOD, "none")
+        if method == "none":
+            return event
+        codec = get_codec(method)
+        return event.with_payload(codec.decompress(event.payload))
+
+
+class TunableCompressionHandler:
+    """A compression handler whose codec parameters change at runtime.
+
+    Paper §5, capability (3): "By permitting end users to dynamically
+    change the parameters used by compression methods, they can also
+    explicitly affect compression behavior."  The handler holds a codec
+    *factory* (e.g. ``lambda chunk_size: BurrowsWheelerCodec(chunk_size)``)
+    and, when bound to a :class:`~repro.middleware.attributes.QualityAttributes`
+    namespace, rebuilds its codec whenever the parameter attribute is set —
+    so a consumer can, say, shrink Burrows-Wheeler chunks or loosen a lossy
+    tolerance while events keep flowing.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        factory: Callable[..., "object"],
+        cost_model: Optional[CodecCostModel] = None,
+        cpu: Optional[CpuModel] = None,
+        **initial_parameters: object,
+    ) -> None:
+        self.method = method
+        self.factory = factory
+        self.cost_model = cost_model
+        self.cpu = cpu
+        self.parameters = dict(initial_parameters)
+        self.codec = factory(**self.parameters)
+        self.reconfigurations = 0
+
+    def reconfigure(self, **parameters: object) -> None:
+        """Rebuild the codec with updated parameters (merged over current)."""
+        self.parameters.update(parameters)
+        self.codec = self.factory(**self.parameters)
+        self.reconfigurations += 1
+
+    def bind(self, attributes: "object", attribute_name: str) -> Callable[[], None]:
+        """Follow a quality attribute: its value (a dict) reconfigures us.
+
+        Returns the unsubscribe callable.
+        """
+
+        def on_change(name: str, value: object) -> None:
+            if name == attribute_name and isinstance(value, dict):
+                self.reconfigure(**value)
+
+        return attributes.subscribe(on_change)
+
+    def __call__(self, event: Event) -> Event:
+        start = time.perf_counter()
+        payload = self.codec.compress(event.payload)
+        measured = time.perf_counter() - start
+        if self.cost_model is not None:
+            try:
+                elapsed = self.cost_model.compression_time(
+                    self.method, event.size, self.cpu
+                )
+            except KeyError:
+                elapsed = measured
+        elif self.cpu is not None:
+            elapsed = self.cpu.scale_time(measured)
+        else:
+            elapsed = measured
+        return event.with_payload(
+            payload,
+            **{
+                ATTR_COMPRESSION_METHOD: self.method,
+                ATTR_ORIGINAL_SIZE: event.size,
+                ATTR_COMPRESSION_SECONDS: elapsed,
+            },
+        )
+
+
+class FilterHandler:
+    """Drop events failing a predicate ("prevent events from being transported")."""
+
+    def __init__(self, predicate: Callable[[Event], bool]) -> None:
+        self.predicate = predicate
+
+    def __call__(self, event: Event) -> Optional[Event]:
+        return event if self.predicate(event) else None
+
+
+class TapHandler:
+    """Pass events through unchanged while recording them (monitoring aid)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> Event:
+        self.events.append(event)
+        return event

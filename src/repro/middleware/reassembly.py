@@ -1,0 +1,138 @@
+"""Out-of-order event delivery and reassembly (paper §2.4 motivation).
+
+The modified Burrows-Wheeler pipeline exists "to enable us to decompress
+the file when the order of blocks received does not exactly correspond to
+the order in which it is sent."  Two pieces realize that here:
+
+* :class:`ReorderingBridge` — a :class:`~repro.middleware.transport.TransportBridge`
+  that perturbs delivery order within a bounded window (deterministic per
+  seed), modelling multi-path/striped transports;
+* :class:`OrderedReassembly` — a consumer-side buffer that releases events
+  in sequence order, tracks gaps, and (optionally) flushes stragglers
+  after a window overflow.
+
+Because every compressed event is self-contained (method id in the
+attributes, self-describing codec payloads), events can be *decompressed*
+in arrival order and only the application byte stream needs reassembly —
+exactly the property the paper engineered with its 255 chunk markers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..netsim.clock import Clock
+from ..netsim.link import SimulatedLink
+from ..netsim.loadtrace import LoadTrace
+from .channels import EventChannel
+from .events import Event
+from .transport import TransportBridge
+
+__all__ = ["OrderedReassembly", "ReorderingBridge"]
+
+
+class OrderedReassembly:
+    """Release events strictly in ``sequence`` order.
+
+    ``deliver`` is called for each released event.  Out-of-sequence
+    arrivals are buffered; ``pending`` exposes the gap state.  If the
+    buffer exceeds ``max_pending``, the oldest missing sequence is
+    declared lost and delivery resumes after it (counted in ``gaps``) —
+    the behaviour a streaming consumer needs on lossy paths.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[Event], None],
+        first_sequence: int = 1,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self._deliver = deliver
+        self._next = first_sequence
+        self._buffer: Dict[int, Event] = {}
+        self.max_pending = max_pending
+        self.delivered = 0
+        self.gaps = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered out-of-order events."""
+        return len(self._buffer)
+
+    @property
+    def next_sequence(self) -> int:
+        return self._next
+
+    def push(self, event: Event) -> None:
+        """Accept one event in arrival order."""
+        if event.sequence < self._next:
+            return  # duplicate or already skipped-over; drop silently
+        self._buffer[event.sequence] = event
+        self._drain()
+        if self.max_pending is not None and len(self._buffer) > self.max_pending:
+            # Declare the head-of-line sequence lost and move on.
+            self._next = min(self._buffer)
+            self.gaps += 1
+            self._drain()
+
+    def _drain(self) -> None:
+        while self._next in self._buffer:
+            event = self._buffer.pop(self._next)
+            self._next += 1
+            self.delivered += 1
+            self._deliver(event)
+
+    def flush(self) -> List[int]:
+        """Release everything buffered (in order), returning missing seqs."""
+        missing: List[int] = []
+        while self._buffer:
+            head = min(self._buffer)
+            missing.extend(range(self._next, head))
+            if head > self._next:
+                self.gaps += 1
+            self._next = head
+            self._drain()
+        return missing
+
+
+class ReorderingBridge(TransportBridge):
+    """A transport bridge that delivers within-window out of order.
+
+    Events are held in a small buffer; each new arrival randomly (but
+    deterministically per seed) evicts one buffered event for delivery.
+    ``close`` drains the tail.  Transfer timing is charged on arrival,
+    exactly like the in-order bridge.
+    """
+
+    def __init__(
+        self,
+        link: SimulatedLink,
+        clock: Clock,
+        load: Optional[LoadTrace] = None,
+        advance_clock: bool = True,
+        window: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(link, clock, load=load, advance_clock=advance_clock)
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._rng = random.Random(seed)
+        self._held: List[tuple] = []
+
+    def _deliver(self, event: Event, mirror: EventChannel) -> None:
+        self._held.append((event, mirror))
+        if len(self._held) >= self.window:
+            index = self._rng.randrange(len(self._held))
+            held_event, held_mirror = self._held.pop(index)
+            super()._deliver(held_event, held_mirror)
+
+    def close(self) -> None:
+        """Drain all held events (in randomized order)."""
+        while self._held:
+            index = self._rng.randrange(len(self._held))
+            event, mirror = self._held.pop(index)
+            super()._deliver(event, mirror)

@@ -1,0 +1,232 @@
+"""Real TCP transport for the middleware (deployment substrate).
+
+The simulation bridges model the paper's testbed; this module is the
+production counterpart: events cross real sockets, so two processes (or
+machines) can run the §3 architecture for real.  The same wire format is
+used, the same attributes travel, and the adaptive consumer measures
+*actual* transfer times — on a real network the selector adapts to real
+conditions with no code changes.
+
+Design (kept deliberately simple and dependency-free):
+
+* :class:`ChannelServer` — listens on a host/port; each client connection
+  sends one subscription request line naming a channel id; the server
+  subscribes to that channel on the client's behalf and forwards every
+  event as a length-prefixed :class:`~repro.middleware.transport.WireFormat`
+  frame.  One thread per connection.
+* :class:`RemoteChannel` — connects, subscribes, and replays incoming
+  frames into a local mirror :class:`~repro.middleware.channels.EventChannel`
+  from a reader thread, annotating each event with its measured transfer
+  time and wire size (the same attributes the simulated bridges attach).
+
+Delivery callbacks on the mirror run on the reader thread; consumers that
+need main-thread delivery should hand off through their own queue.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .channels import EventChannel, Subscription
+from .events import Event
+from .transport import ATTR_TRANSPORT_SECONDS, ATTR_WIRE_SIZE, WireFormat
+
+__all__ = ["ChannelServer", "RemoteChannel"]
+
+_LENGTH = struct.Struct("!I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"frame of {length} bytes exceeds limit")
+    return _recv_exact(sock, length)
+
+
+class ChannelServer:
+    """Serves a set of channels to remote subscribers over TCP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._channels: Dict[str, EventChannel] = {}
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self._running = True
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self.connections_served = 0
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) clients should connect to."""
+        return self._listener.getsockname()
+
+    def offer(self, channel: EventChannel) -> None:
+        """Make ``channel`` subscribable by remote clients."""
+        with self._lock:
+            self._channels[channel.channel_id] = channel
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_client, args=(connection,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_client(self, connection: socket.socket) -> None:
+        subscription: Optional[Subscription] = None
+        send_lock = threading.Lock()
+        try:
+            request = _recv_frame(connection)
+            if request is None:
+                return
+            channel_id = request.decode()
+            with self._lock:
+                channel = self._channels.get(channel_id)
+            if channel is None:
+                _send_frame(connection, b"ERR unknown channel")
+                return
+            _send_frame(connection, b"OK")
+            self.connections_served += 1
+
+            def forward(event: Event) -> None:
+                wire = WireFormat.encode(event)
+                try:
+                    with send_lock:
+                        _send_frame(connection, wire)
+                except OSError:
+                    if subscription is not None:
+                        subscription.cancel()
+
+            subscription = channel.subscribe(forward)
+            # Block until the client goes away (any inbound data/EOF ends it).
+            while self._running:
+                if connection.recv(1) == b"":
+                    break
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            if subscription is not None:
+                subscription.cancel()
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Stop accepting and drop the listener."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+class RemoteChannel:
+    """Client-side mirror of a channel served by :class:`ChannelServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        channel_id: str,
+        timeout: float = 5.0,
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._socket.settimeout(timeout)
+        _send_frame(self._socket, channel_id.encode())
+        response = _recv_frame(self._socket)
+        if response != b"OK":
+            self._socket.close()
+            raise ConnectionError(
+                f"subscription to {channel_id!r} refused: {response!r}"
+            )
+        self.mirror = EventChannel(f"{channel_id}@tcp")
+        self.events_received = 0
+        self.wire_bytes = 0
+        self._closed = threading.Event()
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        previous = time.perf_counter()
+        while not self._closed.is_set():
+            try:
+                frame = _recv_frame(self._socket)
+            except (OSError, ConnectionError):
+                break
+            if frame is None:
+                break
+            now = time.perf_counter()
+            try:
+                event = WireFormat.decode(frame).with_attributes(
+                    **{
+                        ATTR_TRANSPORT_SECONDS: max(now - previous, 1e-9),
+                        ATTR_WIRE_SIZE: len(frame),
+                    }
+                )
+            except (ValueError, KeyError):
+                break  # corrupt peer; drop the connection
+            previous = now
+            self.wire_bytes += len(frame)
+            self.mirror.submit_stamped(event)
+            # Count only after local delivery completed, so wait_for(n)
+            # implies the n-th subscriber callback has already run.
+            self.events_received += 1
+        self._closed.set()
+
+    def wait_for(self, count: int, timeout: float = 10.0) -> bool:
+        """Block until ``count`` events arrived (or timeout); for tests."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.events_received >= count:
+                return True
+            if self._closed.is_set() and self.events_received < count:
+                return False
+            time.sleep(0.005)
+        return self.events_received >= count
+
+    def close(self) -> None:
+        """Disconnect; the reader thread exits."""
+        self._closed.set()
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=2.0)

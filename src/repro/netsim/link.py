@@ -1,0 +1,143 @@
+"""Simulated communication links (paper Figure 5).
+
+The paper measured four link classes end to end with 128 KB blocks on warm
+connections:
+
+====================  ==================  ==========================
+link                  transfer speed      standard deviation
+====================  ==================  ==========================
+1 GBit/s              26.32094622 MB/s    0.782 %
+100 MBit/s            7.520270348 MB/s    8.95 %
+1 MBit/s              0.146907607 MB/s    1.17 %
+international (US-IL) 0.10891426 MB/s     46.02 %
+====================  ==================  ==========================
+
+:class:`SimulatedLink` reproduces those operating points: each transfer
+samples an effective throughput from a (truncated) normal around the mean,
+optionally divided by a congestion factor derived from the current number
+of competing connections (the MBone-driven load of §4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "LinkSpec",
+    "SimulatedLink",
+    "PAPER_LINKS",
+    "EXTRA_LINKS",
+    "MEGABYTE",
+    "make_link",
+]
+
+MEGABYTE = 1 << 20
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of a link class."""
+
+    name: str
+    #: Mean end-to-end throughput in bytes/second (warm line, no load).
+    throughput: float
+    #: Relative standard deviation of per-transfer throughput (0.0895 = 8.95 %).
+    stddev_fraction: float
+    #: One-way startup latency charged once per transfer, seconds.
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+        if self.stddev_fraction < 0:
+            raise ValueError("stddev_fraction must be non-negative")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+#: The four link classes of Figure 5, keyed by the paper's labels.  The
+#: throughputs are the paper's *measured end-to-end* speeds for 128 KB
+#: blocks on warm lines, so per-transfer latency is already folded in;
+#: the latency fields only add a small fixed floor for tiny transfers.
+PAPER_LINKS: Dict[str, LinkSpec] = {
+    "1gbit": LinkSpec("1gbit", 26.32094622 * MEGABYTE, 0.00782, latency=0.0001),
+    "100mbit": LinkSpec("100mbit", 7.520270348 * MEGABYTE, 0.0895, latency=0.0002),
+    "1mbit": LinkSpec("1mbit", 0.146907607 * MEGABYTE, 0.0117, latency=0.002),
+    "international": LinkSpec(
+        "international", 0.10891426 * MEGABYTE, 0.4602, latency=0.020
+    ),
+}
+
+
+#: Extra link classes for scenarios the paper discusses qualitatively:
+#: §1 expects configurable compression "to compete well in embedded
+#: systems ... deployed on 'tethered' machines before data is transmitted
+#: to mobile machines linked via wireless connections", and home DSL.
+EXTRA_LINKS: Dict[str, LinkSpec] = {
+    "wireless-11mbit": LinkSpec(
+        "wireless-11mbit", 0.62 * MEGABYTE, 0.25, latency=0.003
+    ),
+    "dsl": LinkSpec("dsl", 0.095 * MEGABYTE, 0.06, latency=0.015),
+}
+
+
+class SimulatedLink:
+    """A stochastic link with optional connection-count congestion.
+
+    ``congestion_per_connection`` models how much each competing MBone
+    connection erodes this sender's share: with ``n`` competing
+    connections the mean throughput is divided by
+    ``1 + congestion_per_connection * n``.
+    """
+
+    def __init__(
+        self,
+        spec: LinkSpec,
+        seed: int = 0,
+        congestion_per_connection: float = 0.25,
+    ) -> None:
+        if congestion_per_connection < 0:
+            raise ValueError("congestion_per_connection must be non-negative")
+        self.spec = spec
+        self._rng = random.Random(seed)
+        self.congestion_per_connection = congestion_per_connection
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    def effective_throughput(self, connections: float = 0.0) -> float:
+        """Sample this transfer's throughput in bytes/second."""
+        mean = self.spec.throughput / (
+            1.0 + self.congestion_per_connection * max(0.0, connections)
+        )
+        sample = self._rng.gauss(mean, mean * self.spec.stddev_fraction)
+        # Truncate at 5 % of the mean: even the international link never
+        # measured a negative or near-zero speed.
+        return max(sample, mean * 0.05)
+
+    def transfer_time(self, size: int, connections: float = 0.0) -> float:
+        """Seconds to move ``size`` bytes under the given competing load."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return self.spec.latency
+        self.bytes_sent += size
+        self.transfers += 1
+        return self.spec.latency + size / self.effective_throughput(connections)
+
+    def mean_transfer_time(self, size: int, connections: float = 0.0) -> float:
+        """Deterministic expected transfer time (no sampling, no counters)."""
+        mean = self.spec.throughput / (
+            1.0 + self.congestion_per_connection * max(0.0, connections)
+        )
+        return self.spec.latency + size / mean
+
+
+def make_link(name: str, seed: int = 0, congestion_per_connection: float = 0.25) -> SimulatedLink:
+    """Construct a link by label (Figure 5's four classes or the extras)."""
+    spec = PAPER_LINKS.get(name) or EXTRA_LINKS.get(name)
+    if spec is None:
+        known = sorted(PAPER_LINKS) + sorted(EXTRA_LINKS)
+        raise ValueError(f"unknown link {name!r}; choose from {known}")
+    return SimulatedLink(spec, seed=seed, congestion_per_connection=congestion_per_connection)

@@ -1,0 +1,77 @@
+"""Unit tests for LEB128 varints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.base import CorruptStreamError
+from repro.compression.varint import read_varint, varint_size, write_varint
+
+
+class TestWriteVarint:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (16384, b"\x80\x80\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        buffer = bytearray()
+        write_varint(buffer, value)
+        assert bytes(buffer) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_varint(bytearray(), -1)
+
+    def test_appends_to_existing_buffer(self):
+        buffer = bytearray(b"xy")
+        write_varint(buffer, 5)
+        assert bytes(buffer) == b"xy\x05"
+
+
+class TestReadVarint:
+    def test_reads_at_offset(self):
+        buffer = bytearray(b"\xff")
+        write_varint(buffer, 300)
+        value, offset = read_varint(buffer, 1)
+        assert value == 300
+        assert offset == 3
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"\x80", 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"", 0)
+
+    def test_oversized_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"\xff" * 11, 0)
+
+
+class TestVarintSize:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_size_matches_encoding(self, value):
+        buffer = bytearray()
+        write_varint(buffer, value)
+        assert varint_size(value) == len(buffer)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_size(-3)
+
+
+@given(st.integers(min_value=0, max_value=2**62))
+def test_roundtrip_property(value):
+    buffer = bytearray()
+    write_varint(buffer, value)
+    decoded, offset = read_varint(buffer, 0)
+    assert decoded == value
+    assert offset == len(buffer)

@@ -1,0 +1,50 @@
+"""Shared fixtures: representative datasets and codec instances."""
+
+import os
+import random
+
+import pytest
+
+from repro.data.commercial import CommercialDataGenerator
+from repro.data.molecular import MolecularDataGenerator
+
+
+@pytest.fixture(scope="session")
+def commercial_block() -> bytes:
+    """~64 KB of OIS XML (string-repetitive, medium entropy)."""
+    return CommercialDataGenerator(seed=99).xml_block(64 * 1024)
+
+
+@pytest.fixture(scope="session")
+def molecular_generator() -> MolecularDataGenerator:
+    return MolecularDataGenerator(atom_count=1024, seed=7)
+
+
+@pytest.fixture(scope="session")
+def random_block() -> bytes:
+    """16 KB of seeded pseudo-random bytes (incompressible)."""
+    rng = random.Random(1234)
+    return bytes(rng.getrandbits(8) for _ in range(16 * 1024))
+
+
+@pytest.fixture(scope="session")
+def lowentropy_block() -> bytes:
+    """32 KB drawn from a 4-symbol skewed alphabet (low entropy)."""
+    rng = random.Random(5)
+    return bytes(rng.choices([65, 66, 67, 68], weights=[70, 20, 7, 3], k=32 * 1024))
+
+
+@pytest.fixture(scope="session")
+def corpus(commercial_block, random_block, lowentropy_block) -> dict:
+    """Named byte corpora spanning the paper's data-characteristic classes."""
+    return {
+        "empty": b"",
+        "single": b"x",
+        "tiny": b"abcabc",
+        "commercial": commercial_block,
+        "random": random_block,
+        "lowentropy": lowentropy_block,
+        "zeros": b"\x00" * 20000,
+        "alternating": b"ab" * 10000,
+        "allbytes": bytes(range(256)) * 64,
+    }

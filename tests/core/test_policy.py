@@ -1,0 +1,53 @@
+"""Unit tests for compression policies."""
+
+import math
+
+import pytest
+
+from repro.compression.base import CodecError
+from repro.core.monitor import ReducingSpeedMonitor
+from repro.core.policy import AdaptivePolicy, FixedPolicy
+from repro.core.sampler import SampleResult
+
+
+class TestFixedPolicy:
+    def test_always_returns_its_method(self):
+        policy = FixedPolicy("huffman")
+        monitor = ReducingSpeedMonitor()
+        for sending_time in (0.0001, 1.0, 100.0):
+            decision = policy.choose(128 * 1024, sending_time, monitor, None)
+            assert decision.method == "huffman"
+
+    def test_unknown_method_rejected_eagerly(self):
+        with pytest.raises(CodecError):
+            FixedPolicy("zstd")
+
+    def test_none_policy(self):
+        decision = FixedPolicy("none").choose(1024, 1.0, ReducingSpeedMonitor(), None)
+        assert not decision.compresses
+
+
+class TestAdaptivePolicy:
+    def test_uses_monitor_speed(self):
+        policy = AdaptivePolicy()
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)  # 1.4 MB/s
+        sample = SampleResult(4096, 1400, 0.001)  # ratio ~0.34
+        fast_link = policy.choose(128 * 1024, 0.01, monitor, sample)
+        slow_link = policy.choose(128 * 1024, 0.5, monitor, sample)
+        assert fast_link.method == "none"
+        assert slow_link.method == "burrows-wheeler"
+
+    def test_first_block_without_sample(self):
+        policy = AdaptivePolicy()
+        monitor = ReducingSpeedMonitor()  # infinite speed
+        decision = policy.choose(128 * 1024, 0.01, monitor, None)
+        assert decision.compresses  # infinity => compression looks free
+
+    def test_sample_ratio_gates_dictionary_methods(self):
+        policy = AdaptivePolicy()
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)
+        poor_sample = SampleResult(4096, 3900, 0.001)  # ratio ~0.95
+        decision = policy.choose(128 * 1024, 0.5, monitor, poor_sample)
+        assert decision.method == "huffman"

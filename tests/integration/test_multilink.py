@@ -1,0 +1,85 @@
+"""Integration tests for the §1 multi-link and CPU-load claims."""
+
+import pytest
+
+from repro.core import AdaptivePipeline, LzSampler
+from repro.data.commercial import CommercialDataGenerator
+from repro.experiments.multilink import multilink_matrix
+from repro.netsim import (
+    DEFAULT_COSTS,
+    PAPER_LINKS,
+    CpuModel,
+    LoadTrace,
+    SimulatedLink,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return multilink_matrix(total_blocks=12)
+
+
+class TestMultilinkClaims:
+    def _cell(self, matrix, link, load):
+        return next(c for c in matrix if c.link == link and c.load_label == load)
+
+    def test_intranet_utility_less_evident(self, matrix):
+        """'In Intranets, however, the utility of compression is less
+        evident' — the unloaded gigabit cell must show no real speedup."""
+        cell = self._cell(matrix, "1gbit", "low-load")
+        assert cell.speedup < 1.3
+        # and the selector mostly refuses to compress there
+        assert cell.adaptive_methods.get("none", 0) >= 8
+
+    def test_international_improves_in_both_scenarios(self, matrix):
+        """'significantly improve ... U.S. to an Israeli university
+        machine, in both low-load and high-load usage scenarios'"""
+        for load in ("low-load", "high-load"):
+            assert self._cell(matrix, "international", load).speedup > 2.0
+
+    def test_dsl_notable_advantage(self, matrix):
+        """'even when using broadband links like DSL, notable performance
+        advantages are attained'"""
+        assert self._cell(matrix, "dsl", "low-load").speedup > 1.8
+
+    def test_speedup_grows_as_links_slow(self, matrix):
+        low = {c.link: c.speedup for c in matrix if c.load_label == "low-load"}
+        assert low["1gbit"] < low["1mbit"]
+        assert low["100mbit"] < low["international"]
+
+    def test_stronger_methods_on_slower_links(self, matrix):
+        fast = self._cell(matrix, "1gbit", "low-load").adaptive_methods
+        slow = self._cell(matrix, "international", "low-load").adaptive_methods
+        assert fast.get("burrows-wheeler", 0) == 0
+        assert slow.get("burrows-wheeler", 0) > 5
+
+
+class TestCpuLoadAdaptation:
+    def test_busy_cpu_deescalates_method(self):
+        """'better compression methods are used when CPU loads are low';
+        when the sender CPU gets busy mid-run the selector backs off."""
+        cpu = CpuModel("dynamic", speed_factor=1.0)
+        pipeline = AdaptivePipeline(
+            cost_model=DEFAULT_COSTS,
+            cpu=cpu,
+            sampler=LzSampler(cost_model=DEFAULT_COSTS, cpu=cpu),
+        )
+        blocks = list(CommercialDataGenerator(seed=3).stream(128 * 1024, 40))
+        link = SimulatedLink(PAPER_LINKS["1mbit"], seed=1)
+        cpu_trace = LoadTrace.from_pairs([(0, 0), (30, 20), (60, 0)])
+        result = pipeline.run(
+            blocks, link, production_interval=2.0, cpu_load=cpu_trace
+        )
+        strength = {"none": 0, "huffman": 1, "lempel-ziv": 2, "burrows-wheeler": 3}
+        idle = [r for r in result.records if 6 < r.start_time < 28]
+        busy = [r for r in result.records if 44 < r.start_time < 60]
+        recovered = [r for r in result.records if r.start_time > 70]
+        mean = lambda rs: sum(strength[r.method] for r in rs) / len(rs)
+        assert mean(busy) < mean(idle)
+        assert mean(recovered) > mean(busy)
+
+    def test_cpu_load_requires_cpu_model(self):
+        pipeline = AdaptivePipeline(cost_model=DEFAULT_COSTS)
+        trace = LoadTrace.from_pairs([(0, 1)])
+        with pytest.raises(ValueError):
+            pipeline.run([b"x" * 2048], SimulatedLink(PAPER_LINKS["1mbit"]), cpu_load=trace)

@@ -1,0 +1,152 @@
+"""Unit tests for event channels and derivation."""
+
+import pytest
+
+from repro.middleware.channels import ChannelError, EventChannel
+from repro.middleware.events import Event
+from repro.middleware.handlers import FilterHandler, TapHandler
+
+
+def collect(channel):
+    received = []
+    channel.subscribe(received.append)
+    return received
+
+
+class TestSubscription:
+    def test_delivery(self):
+        channel = EventChannel("c")
+        received = collect(channel)
+        channel.submit(Event(payload=b"a"))
+        assert len(received) == 1
+        assert received[0].payload == b"a"
+
+    def test_multiple_subscribers_each_receive(self):
+        channel = EventChannel("c")
+        first = collect(channel)
+        second = collect(channel)
+        channel.submit(Event(payload=b"x"))
+        assert len(first) == len(second) == 1
+
+    def test_cancel_stops_delivery(self):
+        channel = EventChannel("c")
+        received = []
+        subscription = channel.subscribe(received.append)
+        subscription.cancel()
+        channel.submit(Event(payload=b"x"))
+        assert received == []
+        assert channel.subscriber_count == 0
+
+    def test_cancel_idempotent(self):
+        channel = EventChannel("c")
+        subscription = channel.subscribe(lambda e: None)
+        subscription.cancel()
+        subscription.cancel()
+
+    def test_sequence_numbers_assigned(self):
+        channel = EventChannel("c")
+        received = collect(channel)
+        channel.submit(Event(payload=b"1"))
+        channel.submit(Event(payload=b"2"))
+        assert [e.sequence for e in received] == [1, 2]
+
+    def test_channel_id_stamped(self):
+        channel = EventChannel("my-channel")
+        received = collect(channel)
+        channel.submit(Event(payload=b"x"))
+        assert received[0].channel_id == "my-channel"
+
+    def test_empty_channel_id_rejected(self):
+        with pytest.raises(ChannelError):
+            EventChannel("")
+
+
+class TestDerivation:
+    def test_derived_channel_receives_transformed(self):
+        channel = EventChannel("base")
+        derived = channel.derive(lambda e: e.with_payload(e.payload.upper()))
+        received = collect(derived)
+        channel.submit(Event(payload=b"abc"))
+        assert received[0].payload == b"ABC"
+
+    def test_derived_without_subscribers_not_computed(self):
+        channel = EventChannel("base")
+        tap = TapHandler()
+        channel.derive(tap)  # no subscribers below
+        channel.submit(Event(payload=b"x"))
+        assert tap.events == []  # handler never ran
+
+    def test_handler_runs_once_subscribed(self):
+        channel = EventChannel("base")
+        tap = TapHandler()
+        derived = channel.derive(tap)
+        collect(derived)
+        channel.submit(Event(payload=b"x"))
+        assert len(tap.events) == 1
+
+    def test_filter_handler_drops(self):
+        channel = EventChannel("base")
+        derived = channel.derive(FilterHandler(lambda e: e.size > 2))
+        received = collect(derived)
+        channel.submit(Event(payload=b"x"))
+        channel.submit(Event(payload=b"xyz"))
+        assert [e.payload for e in received] == [b"xyz"]
+
+    def test_chained_derivation(self):
+        channel = EventChannel("base")
+        upper = channel.derive(lambda e: e.with_payload(e.payload.upper()))
+        doubled = upper.derive(lambda e: e.with_payload(e.payload * 2))
+        received = collect(doubled)
+        channel.submit(Event(payload=b"ab"))
+        assert received[0].payload == b"ABAB"
+
+    def test_default_derived_ids(self):
+        channel = EventChannel("base")
+        derived = channel.derive(lambda e: e)
+        assert derived.channel_id.startswith("base/derived-")
+
+    def test_drop_derived(self):
+        channel = EventChannel("base")
+        derived = channel.derive(lambda e: e)
+        received = collect(derived)
+        channel.drop_derived(derived)
+        channel.submit(Event(payload=b"x"))
+        assert received == []
+        assert derived not in channel.derived_channels
+
+    def test_has_listeners_transitive(self):
+        channel = EventChannel("base")
+        middle = channel.derive(lambda e: e)
+        leaf = middle.derive(lambda e: e)
+        assert not channel.has_listeners()
+        collect(leaf)
+        assert channel.has_listeners()
+
+    def test_mid_delivery_resubscribe_no_duplicates(self):
+        """A consumer switching derivations mid-delivery gets each event once."""
+        channel = EventChannel("base")
+        a = channel.derive(lambda e: e.with_attributes(via="a"))
+        b = channel.derive(lambda e: e.with_attributes(via="b"))
+        received = []
+        state = {}
+
+        def on_event(event):
+            received.append(event)
+            # switch to b upon first delivery through a
+            if event.attributes.get("via") == "a":
+                state["sub_a"].cancel()
+                state["sub_b"] = b.subscribe(on_event)
+
+        state["sub_a"] = a.subscribe(on_event)
+        channel.submit(Event(payload=b"1"))
+        assert len(received) == 1
+        channel.submit(Event(payload=b"2"))
+        assert len(received) == 2
+        assert received[1].attributes["via"] == "b"
+
+    def test_counters(self):
+        channel = EventChannel("base")
+        collect(channel)
+        channel.submit(Event(payload=b"1234"))
+        assert channel.submitted == 1
+        assert channel.delivered_bytes == 4

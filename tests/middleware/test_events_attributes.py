@@ -1,0 +1,77 @@
+"""Unit tests for events and quality attributes."""
+
+import pytest
+
+from repro.middleware.attributes import ATTR_COMPRESSION_METHOD, QualityAttributes
+from repro.middleware.events import Event
+
+
+class TestEvent:
+    def test_defaults(self):
+        event = Event(payload=b"data")
+        assert event.size == 4
+        assert event.attributes == {}
+        assert event.sequence == 0
+
+    def test_with_payload_preserves_and_extends_attributes(self):
+        event = Event(payload=b"x", attributes={"a": 1})
+        updated = event.with_payload(b"yy", b=2)
+        assert updated.payload == b"yy"
+        assert updated.attributes == {"a": 1, "b": 2}
+        # original untouched (immutability)
+        assert event.payload == b"x"
+        assert event.attributes == {"a": 1}
+
+    def test_with_attributes_overrides(self):
+        event = Event(payload=b"", attributes={"a": 1})
+        assert event.with_attributes(a=2).attributes == {"a": 2}
+
+    def test_frozen(self):
+        event = Event(payload=b"x")
+        with pytest.raises(AttributeError):
+            event.payload = b"y"  # type: ignore[misc]
+
+
+class TestQualityAttributes:
+    def test_set_get(self):
+        attrs = QualityAttributes()
+        attrs.set(ATTR_COMPRESSION_METHOD, "huffman")
+        assert attrs.get(ATTR_COMPRESSION_METHOD) == "huffman"
+
+    def test_get_default(self):
+        assert QualityAttributes().get("missing", 42) == 42
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            QualityAttributes().set("", 1)
+
+    def test_snapshot_is_copy(self):
+        attrs = QualityAttributes()
+        attrs.set("k", 1)
+        snap = attrs.snapshot()
+        snap["k"] = 99
+        assert attrs.get("k") == 1
+
+    def test_listener_notified(self):
+        attrs = QualityAttributes()
+        seen = []
+        attrs.subscribe(lambda name, value: seen.append((name, value)))
+        attrs.set("x", 7)
+        assert seen == [("x", 7)]
+
+    def test_unsubscribe(self):
+        attrs = QualityAttributes()
+        seen = []
+        cancel = attrs.subscribe(lambda n, v: seen.append(v))
+        cancel()
+        attrs.set("x", 1)
+        assert seen == []
+        cancel()  # idempotent
+
+    def test_cross_layer_flow(self):
+        """Consumer decision propagates to producer through attributes (§3.1)."""
+        attrs = QualityAttributes()
+        producer_view = {}
+        attrs.subscribe(lambda n, v: producer_view.__setitem__(n, v))
+        attrs.set(ATTR_COMPRESSION_METHOD, "burrows-wheeler")
+        assert producer_view[ATTR_COMPRESSION_METHOD] == "burrows-wheeler"

@@ -1,0 +1,97 @@
+"""Unit tests for channel quality monitoring."""
+
+import pytest
+
+from repro.data.commercial import CommercialDataGenerator
+from repro.middleware.attributes import QualityAttributes
+from repro.middleware.channels import EventChannel
+from repro.middleware.events import Event
+from repro.middleware.handlers import CompressionHandler
+from repro.middleware.monitoring import ChannelMonitor
+from repro.middleware.transport import TransportBridge
+from repro.netsim.clock import VirtualClock
+from repro.netsim.link import make_link
+
+
+class TestChannelMonitor:
+    def test_empty_snapshot(self):
+        channel = EventChannel("c")
+        monitor = ChannelMonitor(channel)
+        quality = monitor.snapshot()
+        assert quality.events == 0
+        assert quality.compression_ratio == 1.0
+
+    def test_counts_events(self):
+        channel = EventChannel("c")
+        monitor = ChannelMonitor(channel)
+        for _ in range(5):
+            channel.submit(Event(payload=b"x" * 100))
+        assert monitor.total_events == 5
+        assert monitor.snapshot().events == 5
+
+    def test_event_rate_uses_clock(self):
+        clock = VirtualClock()
+        channel = EventChannel("c")
+        monitor = ChannelMonitor(channel, clock=clock)
+        for _ in range(5):
+            channel.submit(Event(payload=b"x"))
+            clock.advance(2.0)
+        quality = monitor.snapshot()
+        assert quality.event_rate == pytest.approx(0.5, rel=0.01)
+
+    def test_window_bounds_samples(self):
+        channel = EventChannel("c")
+        monitor = ChannelMonitor(channel, window=4)
+        for _ in range(10):
+            channel.submit(Event(payload=b"x"))
+        assert monitor.snapshot().events == 4
+        assert monitor.total_events == 10
+
+    def test_publishes_to_attributes(self):
+        attributes = QualityAttributes()
+        channel = EventChannel("feed")
+        ChannelMonitor(channel, attributes=attributes)
+        channel.submit(Event(payload=b"data"))
+        published = attributes.get("quality.feed")
+        assert published is not None
+        assert published["events"] == 1
+
+    def test_publish_every_batches(self):
+        attributes = QualityAttributes()
+        updates = []
+        attributes.subscribe(lambda n, v: updates.append(n))
+        channel = EventChannel("feed")
+        ChannelMonitor(channel, attributes=attributes, publish_every=3)
+        for _ in range(7):
+            channel.submit(Event(payload=b"x"))
+        assert len(updates) == 2  # after events 3 and 6
+
+    def test_detach_stops_observing(self):
+        channel = EventChannel("c")
+        monitor = ChannelMonitor(channel)
+        monitor.detach()
+        channel.submit(Event(payload=b"x"))
+        assert monitor.total_events == 0
+
+    def test_validation(self):
+        channel = EventChannel("c")
+        with pytest.raises(ValueError):
+            ChannelMonitor(channel, window=0)
+        with pytest.raises(ValueError):
+            ChannelMonitor(channel, publish_every=0)
+
+    def test_end_to_end_compression_ratio(self, commercial_block):
+        """Monitoring a bridged, compressed channel sees wire-level truth."""
+        clock = VirtualClock()
+        bridge = TransportBridge(make_link("100mbit", seed=1), clock)
+        source = EventChannel("src")
+        compressed = source.derive(CompressionHandler("lempel-ziv"))
+        mirror = bridge.export(compressed)
+        monitor = ChannelMonitor(mirror, clock=clock)
+        for block in CommercialDataGenerator(seed=12).stream(16 * 1024, 6):
+            source.submit(Event(payload=block))
+        quality = monitor.snapshot()
+        assert quality.events == 6
+        assert quality.compression_ratio < 0.7
+        assert quality.mean_transport_seconds > 0
+        assert quality.goodput > quality.wire_throughput

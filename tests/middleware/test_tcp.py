@@ -1,0 +1,101 @@
+"""Integration tests for the real TCP transport (loopback)."""
+
+import pytest
+
+from repro.data.commercial import CommercialDataGenerator
+from repro.middleware.channels import EventChannel
+from repro.middleware.events import Event
+from repro.middleware.handlers import CompressionHandler, DecompressionHandler
+from repro.middleware.tcp import ChannelServer, RemoteChannel
+
+
+@pytest.fixture()
+def server():
+    instance = ChannelServer()
+    yield instance
+    instance.close()
+
+
+class TestTcpTransport:
+    def test_events_cross_real_sockets(self, server):
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "feed")
+        received = []
+        remote.mirror.subscribe(received.append)
+        try:
+            for i in range(5):
+                channel.submit(Event(payload=bytes([i]) * 100, attributes={"i": i}))
+            assert remote.wait_for(5)
+            assert [e.attributes["i"] for e in received] == list(range(5))
+            assert all(e.channel_id == "feed" for e in received)
+        finally:
+            remote.close()
+
+    def test_unknown_channel_refused(self, server):
+        host, port = server.address
+        with pytest.raises(ConnectionError):
+            RemoteChannel(host, port, "nope")
+
+    def test_multiple_subscribers(self, server):
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        first = RemoteChannel(host, port, "feed")
+        second = RemoteChannel(host, port, "feed")
+        try:
+            channel.submit(Event(payload=b"broadcast"))
+            assert first.wait_for(1)
+            assert second.wait_for(1)
+            assert server.connections_served == 2
+        finally:
+            first.close()
+            second.close()
+
+    def test_compressed_channel_over_tcp(self, server):
+        """The §3 stack end to end over real sockets: producer-side
+        compression handler, wire transfer, consumer-side decompression."""
+        blocks = list(CommercialDataGenerator(seed=44).stream(16 * 1024, 4))
+        source = EventChannel("ois")
+        compressed = source.derive(CompressionHandler("lempel-ziv"), "ois/lz")
+        server.offer(compressed)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "ois/lz")
+        decompress = DecompressionHandler()
+        restored = []
+        remote.mirror.subscribe(lambda e: restored.append(decompress(e).payload))
+        try:
+            for block in blocks:
+                source.submit(Event(payload=block))
+            assert remote.wait_for(4)
+            assert restored == blocks
+            # compression really happened on the wire
+            assert remote.wire_bytes < sum(len(b) for b in blocks) * 0.7
+        finally:
+            remote.close()
+
+    def test_transport_attributes_attached(self, server):
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "feed")
+        received = []
+        remote.mirror.subscribe(received.append)
+        try:
+            channel.submit(Event(payload=b"x" * 1000))
+            assert remote.wait_for(1)
+            event = received[0]
+            assert event.attributes["transport.wire_size"] > 1000
+            assert event.attributes["transport.seconds"] > 0
+        finally:
+            remote.close()
+
+    def test_close_stops_delivery(self, server):
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "feed")
+        remote.close()
+        channel.submit(Event(payload=b"late"))
+        assert remote.events_received == 0

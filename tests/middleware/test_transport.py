@@ -1,0 +1,173 @@
+"""Unit tests for the wire format and the multiplexing transport bridge."""
+
+import pytest
+
+from repro.middleware.channels import EventChannel
+from repro.middleware.events import Event
+from repro.middleware.transport import (
+    ATTR_TRANSPORT_SECONDS,
+    ATTR_WIRE_SIZE,
+    TransportBridge,
+    WireFormat,
+)
+from repro.netsim.clock import VirtualClock
+from repro.netsim.link import make_link
+from repro.netsim.loadtrace import LoadTrace
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        event = Event(
+            payload=b"\x00\x01binary\xff",
+            attributes={"method": "huffman", "ratio": 0.5, "flag": True},
+            channel_id="c1",
+            sequence=42,
+            timestamp=1.25,
+        )
+        decoded = WireFormat.decode(WireFormat.encode(event))
+        assert decoded.payload == event.payload
+        assert decoded.attributes == event.attributes
+        assert decoded.channel_id == "c1"
+        assert decoded.sequence == 42
+        assert decoded.timestamp == 1.25
+
+    def test_empty_payload(self):
+        event = Event(payload=b"", channel_id="c", sequence=1)
+        assert WireFormat.decode(WireFormat.encode(event)).payload == b""
+
+    def test_truncated_raises(self):
+        wire = WireFormat.encode(Event(payload=b"hello", channel_id="c"))
+        with pytest.raises(ValueError):
+            WireFormat.decode(wire[:-2])
+
+    def test_wire_overhead_is_modest(self):
+        event = Event(payload=b"x" * 10000, channel_id="c", sequence=1)
+        assert len(WireFormat.encode(event)) < 10200
+
+
+class TestTransportBridge:
+    def _setup(self, link_name="100mbit", load=None):
+        clock = VirtualClock()
+        link = make_link(link_name, seed=1)
+        bridge = TransportBridge(link, clock, load=load)
+        local = EventChannel("local")
+        mirror = bridge.export(local)
+        received = []
+        mirror.subscribe(received.append)
+        return clock, bridge, local, received
+
+    def test_events_cross_the_bridge(self):
+        _, _, local, received = self._setup()
+        local.submit(Event(payload=b"payload"))
+        assert len(received) == 1
+        assert received[0].payload == b"payload"
+
+    def test_clock_advances_by_transfer_time(self):
+        clock, _, local, _ = self._setup(link_name="1mbit")
+        local.submit(Event(payload=b"x" * 100_000))
+        assert clock.now() > 0.5  # ~0.65s at 0.147 MB/s
+
+    def test_transport_attributes_attached(self):
+        _, _, local, received = self._setup()
+        local.submit(Event(payload=b"abc"))
+        event = received[0]
+        assert event.attributes[ATTR_TRANSPORT_SECONDS] > 0
+        assert event.attributes[ATTR_WIRE_SIZE] > 3
+
+    def test_load_slows_transfers(self):
+        heavy = LoadTrace.from_pairs([(0, 80)])
+        clock_loaded, _, local_loaded, _ = self._setup("1mbit", load=heavy)
+        clock_idle, _, local_idle, _ = self._setup("1mbit")
+        local_loaded.submit(Event(payload=b"x" * 50_000))
+        local_idle.submit(Event(payload=b"x" * 50_000))
+        assert clock_loaded.now() > clock_idle.now() * 2
+
+    def test_multiplexes_multiple_channels(self):
+        clock = VirtualClock()
+        bridge = TransportBridge(make_link("100mbit"), clock)
+        a, b = EventChannel("a"), EventChannel("b")
+        got_a, got_b = [], []
+        bridge.export(a).subscribe(got_a.append)
+        bridge.export(b).subscribe(got_b.append)
+        a.submit(Event(payload=b"1"))
+        b.submit(Event(payload=b"2"))
+        assert len(got_a) == len(got_b) == 1
+        assert bridge.stats.events == 2
+        assert set(bridge.exported_channels()) == {"a", "b"}
+
+    def test_unexport_stops_traffic(self):
+        _, bridge, local, received = self._setup()
+        bridge.unexport(local)
+        local.submit(Event(payload=b"x"))
+        assert received == []
+        assert bridge.exported_channels() == []
+
+    def test_stats_accumulate(self):
+        _, bridge, local, _ = self._setup()
+        local.submit(Event(payload=b"12345"))
+        local.submit(Event(payload=b"67890"))
+        assert bridge.stats.events == 2
+        assert bridge.stats.wire_bytes > 10
+        assert bridge.stats.transfer_seconds > 0
+        assert bridge.stats.per_channel_events["local"] == 2
+
+    def test_advance_clock_disabled(self):
+        clock = VirtualClock()
+        bridge = TransportBridge(make_link("1mbit"), clock, advance_clock=False)
+        local = EventChannel("l")
+        bridge.export(local).subscribe(lambda e: None)
+        local.submit(Event(payload=b"x" * 100_000))
+        assert clock.now() == 0.0
+
+
+class TestRudpBridge:
+    def _world(self, loss_rate=0.1, seed=3):
+        from repro.middleware.transport import (
+            ATTR_TRANSPORT_RETRANSMISSIONS,
+            RudpBridge,
+        )
+        from repro.netsim.rudp import PacketLink, RateControlledTransport
+
+        clock = VirtualClock()
+        transport = RateControlledTransport(
+            PacketLink(make_link("1mbit", seed=seed), loss_rate=loss_rate, seed=seed)
+        )
+        bridge = RudpBridge(transport, clock)
+        local = EventChannel("rudp-src")
+        mirror = bridge.export(local)
+        received = []
+        mirror.subscribe(received.append)
+        return clock, bridge, local, received
+
+    def test_events_delivered_reliably_despite_loss(self):
+        clock, bridge, local, received = self._world(loss_rate=0.2)
+        for i in range(10):
+            local.submit(Event(payload=bytes([i]) * 5000))
+        assert len(received) == 10
+        assert [e.payload[0] for e in received] == list(range(10))
+
+    def test_retransmissions_reported(self):
+        _, _, local, received = self._world(loss_rate=0.3)
+        from repro.middleware.transport import ATTR_TRANSPORT_RETRANSMISSIONS
+
+        for _ in range(6):
+            local.submit(Event(payload=b"z" * 20_000))
+        total_retx = sum(
+            e.attributes[ATTR_TRANSPORT_RETRANSMISSIONS] for e in received
+        )
+        assert total_retx > 0
+
+    def test_loss_costs_clock_time(self):
+        clock_clean, _, local_clean, _ = self._world(loss_rate=0.0, seed=4)
+        clock_lossy, _, local_lossy, _ = self._world(loss_rate=0.3, seed=4)
+        payload = b"q" * 50_000
+        local_clean.submit(Event(payload=payload))
+        local_lossy.submit(Event(payload=payload))
+        assert clock_lossy.now() > clock_clean.now()
+
+    def test_rate_warms_across_events(self):
+        _, bridge, local, _ = self._world(loss_rate=0.0)
+        initial = bridge.transport.rate
+        for _ in range(5):
+            local.submit(Event(payload=b"a" * 10_000))
+        assert bridge.transport.rate > initial

@@ -1,0 +1,88 @@
+"""Unit tests for runtime-tunable compression parameters (paper §5 cap. 3)."""
+
+import pytest
+
+from repro.compression.bwhuff import BurrowsWheelerCodec
+from repro.compression.lossy import QuantizedFloatCodec
+from repro.middleware.attributes import ATTR_COMPRESSION_PARAMETERS, QualityAttributes
+from repro.middleware.channels import EventChannel
+from repro.middleware.events import Event
+from repro.middleware.handlers import DecompressionHandler, TunableCompressionHandler
+
+
+class TestTunableCompressionHandler:
+    def test_initial_parameters_applied(self):
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=8192
+        )
+        assert handler.codec.chunk_size == 8192
+
+    def test_reconfigure_rebuilds_codec(self):
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=8192
+        )
+        handler.reconfigure(chunk_size=2048)
+        assert handler.codec.chunk_size == 2048
+        assert handler.reconfigurations == 1
+
+    def test_events_flow_across_reconfiguration(self, commercial_block):
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=16384
+        )
+        decompress = DecompressionHandler()
+        before = handler(Event(payload=commercial_block))
+        handler.reconfigure(chunk_size=2048)
+        after = handler(Event(payload=commercial_block))
+        # both generations decode with the self-describing stream format
+        assert decompress(before).payload == commercial_block
+        assert decompress(after).payload == commercial_block
+
+    def test_bound_to_quality_attributes(self, commercial_block):
+        attributes = QualityAttributes()
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=16384
+        )
+        unsubscribe = handler.bind(attributes, ATTR_COMPRESSION_PARAMETERS)
+        attributes.set(ATTR_COMPRESSION_PARAMETERS, {"chunk_size": 4096})
+        assert handler.codec.chunk_size == 4096
+        unsubscribe()
+        attributes.set(ATTR_COMPRESSION_PARAMETERS, {"chunk_size": 1024})
+        assert handler.codec.chunk_size == 4096  # detached
+
+    def test_non_dict_attribute_ignored(self):
+        attributes = QualityAttributes()
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=8192
+        )
+        handler.bind(attributes, ATTR_COMPRESSION_PARAMETERS)
+        attributes.set(ATTR_COMPRESSION_PARAMETERS, "not-a-dict")
+        assert handler.codec.chunk_size == 8192
+
+    def test_lossy_tolerance_tuning(self):
+        """The §5 use case: loosen a lossy tolerance under pressure."""
+        import numpy as np
+
+        values = np.random.default_rng(0).uniform(-10, 10, 2000)
+        data = values.astype("<f8").tobytes()
+        handler = TunableCompressionHandler(
+            "quantized-float", QuantizedFloatCodec, tolerance=1e-6
+        )
+        tight = handler(Event(payload=data)).size
+        handler.reconfigure(tolerance=1e-2)
+        loose = handler(Event(payload=data)).size
+        assert loose < tight
+
+    def test_in_channel_path(self, commercial_block):
+        channel = EventChannel("src")
+        handler = TunableCompressionHandler(
+            "burrows-wheeler", BurrowsWheelerCodec, chunk_size=8192
+        )
+        derived = channel.derive(handler)
+        received = []
+        derived.subscribe(received.append)
+        channel.submit(Event(payload=commercial_block))
+        handler.reconfigure(chunk_size=2048)
+        channel.submit(Event(payload=commercial_block))
+        assert len(received) == 2
+        decompress = DecompressionHandler()
+        assert all(decompress(e).payload == commercial_block for e in received)

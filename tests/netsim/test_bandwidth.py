@@ -1,0 +1,83 @@
+"""Unit tests for the end-to-end bandwidth estimators."""
+
+import pytest
+
+from repro.netsim.bandwidth import EwmaBandwidthEstimator, WindowedBandwidthEstimator
+
+
+class TestEwma:
+    def test_no_estimate_before_observation(self):
+        assert EwmaBandwidthEstimator().estimate is None
+
+    def test_first_observation_sets_estimate(self):
+        est = EwmaBandwidthEstimator()
+        est.observe(1000, 1.0)
+        assert est.estimate == 1000.0
+
+    def test_converges_toward_new_regime(self):
+        est = EwmaBandwidthEstimator(alpha=0.5)
+        est.observe(1000, 1.0)
+        for _ in range(20):
+            est.observe(100, 1.0)
+        assert est.estimate == pytest.approx(100.0, rel=0.01)
+
+    def test_smooths_spikes(self):
+        est = EwmaBandwidthEstimator(alpha=0.2)
+        est.observe(1000, 1.0)
+        est.observe(100000, 1.0)  # one spike
+        assert est.estimate < 25000
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaBandwidthEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaBandwidthEstimator(alpha=1.5)
+
+    def test_invalid_observations(self):
+        est = EwmaBandwidthEstimator()
+        with pytest.raises(ValueError):
+            est.observe(-1, 1.0)
+        with pytest.raises(ValueError):
+            est.observe(10, 0.0)
+
+    def test_reset(self):
+        est = EwmaBandwidthEstimator()
+        est.observe(500, 1.0)
+        est.reset()
+        assert est.estimate is None
+        assert est.observations == 0
+
+
+class TestWindowed:
+    def test_no_estimate_before_observation(self):
+        assert WindowedBandwidthEstimator().estimate is None
+
+    def test_mean_over_window(self):
+        est = WindowedBandwidthEstimator(window=2)
+        est.observe(100, 1.0)
+        est.observe(300, 1.0)
+        assert est.estimate == pytest.approx(200.0)
+
+    def test_old_samples_evicted(self):
+        est = WindowedBandwidthEstimator(window=2)
+        est.observe(10**6, 1.0)
+        est.observe(100, 1.0)
+        est.observe(100, 1.0)
+        assert est.estimate == pytest.approx(100.0)
+
+    def test_weighted_by_duration(self):
+        est = WindowedBandwidthEstimator(window=4)
+        est.observe(1000, 1.0)   # 1000 B/s for 1 s
+        est.observe(1000, 9.0)   # slow transfer dominates elapsed time
+        assert est.estimate == pytest.approx(200.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedBandwidthEstimator(window=0)
+
+    def test_reset(self):
+        est = WindowedBandwidthEstimator()
+        est.observe(10, 1.0)
+        est.reset()
+        assert est.estimate is None
+        assert est.observations == 0

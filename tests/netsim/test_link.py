@@ -1,0 +1,111 @@
+"""Unit tests for the simulated links (Figure 5 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.link import MEGABYTE, PAPER_LINKS, LinkSpec, SimulatedLink, make_link
+
+
+class TestLinkSpec:
+    def test_paper_links_present(self):
+        assert set(PAPER_LINKS) == {"1gbit", "100mbit", "1mbit", "international"}
+
+    def test_paper_throughputs(self):
+        assert PAPER_LINKS["1gbit"].throughput == pytest.approx(26.32094622 * MEGABYTE)
+        assert PAPER_LINKS["international"].stddev_fraction == pytest.approx(0.4602)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("x", throughput=0, stddev_fraction=0.1)
+        with pytest.raises(ValueError):
+            LinkSpec("x", throughput=1.0, stddev_fraction=-0.1)
+        with pytest.raises(ValueError):
+            LinkSpec("x", throughput=1.0, stddev_fraction=0.1, latency=-1)
+
+
+class TestSimulatedLink:
+    def test_transfer_time_positive(self):
+        link = make_link("100mbit")
+        assert link.transfer_time(128 * 1024) > 0
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = make_link("1mbit")
+        assert link.transfer_time(0) == PAPER_LINKS["1mbit"].latency
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_link("1gbit").transfer_time(-1)
+
+    def test_deterministic_per_seed(self):
+        a = make_link("international", seed=4)
+        b = make_link("international", seed=4)
+        times_a = [a.transfer_time(65536) for _ in range(10)]
+        times_b = [b.transfer_time(65536) for _ in range(10)]
+        assert times_a == times_b
+
+    def test_mean_throughput_matches_spec(self):
+        link = make_link("100mbit", seed=1)
+        sizes = 128 * 1024
+        speeds = [sizes / (link.transfer_time(sizes) - link.spec.latency) for _ in range(2000)]
+        assert np.mean(speeds) == pytest.approx(link.spec.throughput, rel=0.02)
+
+    def test_stddev_matches_spec(self):
+        link = make_link("100mbit", seed=1)
+        speeds = [link.effective_throughput() for _ in range(4000)]
+        rel_std = np.std(speeds) / np.mean(speeds)
+        assert rel_std == pytest.approx(0.0895, rel=0.15)
+
+    def test_international_jitter_larger_than_lan(self):
+        intl = make_link("international", seed=2)
+        lan = make_link("1gbit", seed=2)
+        intl_speeds = [intl.effective_throughput() for _ in range(2000)]
+        lan_speeds = [lan.effective_throughput() for _ in range(2000)]
+        assert (np.std(intl_speeds) / np.mean(intl_speeds)) > 10 * (
+            np.std(lan_speeds) / np.mean(lan_speeds)
+        )
+
+    def test_throughput_never_collapses(self):
+        link = make_link("international", seed=3)
+        mean = link.spec.throughput
+        for _ in range(5000):
+            assert link.effective_throughput() >= mean * 0.05
+
+    def test_congestion_slows_transfers(self):
+        link = make_link("100mbit", seed=5, congestion_per_connection=0.5)
+        unloaded = link.mean_transfer_time(128 * 1024, connections=0)
+        loaded = link.mean_transfer_time(128 * 1024, connections=40)
+        assert loaded == pytest.approx(unloaded_factor(unloaded, link, 40), rel=1e-9)
+        assert loaded > unloaded * 10
+
+    def test_counters(self):
+        link = make_link("1mbit")
+        link.transfer_time(1000)
+        link.transfer_time(2000)
+        assert link.transfers == 2
+        assert link.bytes_sent == 3000
+
+    def test_unknown_link_name(self):
+        with pytest.raises(ValueError):
+            make_link("carrier-pigeon")
+
+    def test_extra_links_available(self):
+        from repro.netsim.link import EXTRA_LINKS
+
+        for name in EXTRA_LINKS:
+            link = make_link(name)
+            assert link.transfer_time(1000) > 0
+
+    def test_wireless_slower_than_lan(self):
+        wireless = make_link("wireless-11mbit")
+        lan = make_link("100mbit")
+        assert wireless.spec.throughput < lan.spec.throughput
+
+    def test_negative_congestion_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedLink(PAPER_LINKS["1gbit"], congestion_per_connection=-0.1)
+
+
+def unloaded_factor(unloaded: float, link: SimulatedLink, connections: float) -> float:
+    spec = link.spec
+    mean = spec.throughput / (1 + link.congestion_per_connection * connections)
+    return spec.latency + 128 * 1024 / mean

@@ -1,0 +1,130 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _pick_method, _unwrap, _wrap, main
+from repro.data.commercial import CommercialDataGenerator
+from repro.data.molecular import MolecularDataGenerator
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "sample.xml"
+    path.write_bytes(CommercialDataGenerator(seed=31).xml_block(32 * 1024))
+    return path
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        method, payload = _unwrap(_wrap("huffman", b"\x00\x01payload"))
+        assert method == "huffman"
+        assert payload == b"\x00\x01payload"
+
+    def test_bad_magic_exits(self):
+        with pytest.raises(SystemExit):
+            _unwrap(b"NOPE rest")
+
+
+class TestPickMethod:
+    def test_repetitive_data_picks_dictionary(self):
+        data = CommercialDataGenerator(seed=1).xml_block(32 * 1024)
+        assert _pick_method(data) in ("burrows-wheeler", "lempel-ziv")
+
+    def test_random_data_picks_none(self):
+        import random
+
+        rng = random.Random(3)
+        data = bytes(rng.getrandbits(8) for _ in range(16 * 1024))
+        assert _pick_method(data) == "none"
+
+
+class TestCompressDecompress:
+    def test_roundtrip_adaptive(self, sample_file, tmp_path, capsys):
+        out = tmp_path / "c.rprz"
+        restored = tmp_path / "restored.xml"
+        assert main(["compress", str(sample_file), "-o", str(out)]) == 0
+        assert main(["decompress", str(out), "-o", str(restored)]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+        stdout = capsys.readouterr().out
+        assert "via" in stdout
+
+    def test_roundtrip_explicit_method(self, sample_file, tmp_path):
+        out = tmp_path / "c.rprz"
+        restored = tmp_path / "r.xml"
+        main(["compress", str(sample_file), "-o", str(out), "--method", "lzw"])
+        main(["decompress", str(out), "-o", str(restored)])
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    def test_default_output_names(self, sample_file, tmp_path):
+        main(["compress", str(sample_file)])
+        envelope = tmp_path / "sample.xml.rprz"
+        assert envelope.exists()
+        # decompressing in place restores the default name
+        target = tmp_path / "sample.xml"
+        target.unlink()
+        main(["decompress", str(envelope)])
+        assert target.exists()
+
+    def test_unknown_method_raises(self, sample_file):
+        from repro.compression.base import CodecError
+
+        with pytest.raises(CodecError):
+            main(["compress", str(sample_file), "--method", "zpaq"])
+
+
+class TestAnalyze:
+    def test_reports_profile(self, sample_file, capsys):
+        assert main(["analyze", str(sample_file)]) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+        assert "recommended" in out
+
+    def test_ratios_flag(self, sample_file, capsys):
+        main(["analyze", str(sample_file), "--ratios"])
+        out = capsys.readouterr().out
+        assert "burrows-wheeler" in out
+
+
+class TestMethods:
+    def test_lists_registered(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("huffman", "lempel-ziv", "burrows-wheeler", "lzw"):
+            assert name in out
+
+
+class TestReplay:
+    def test_commercial_replay_summary(self, capsys):
+        assert main(["replay", "--blocks", "8", "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "total_time_s" in out
+        assert "methods:" in out
+
+    def test_series_flag(self, capsys):
+        main(["replay", "--blocks", "8", "--series"])
+        out = capsys.readouterr().out
+        assert "method ->" in out
+
+    def test_molecular_dataset(self, capsys):
+        assert main(["replay", "--dataset", "molecular", "--blocks", "6"]) == 0
+        assert "molecular" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--blocks", "8", "-o", str(out)]) == 0
+        document = out.read_text()
+        assert "# Reproduction report" in document
+        assert "Headline" in document
+
+
+class TestFigure:
+    @pytest.mark.parametrize("number", [1, 5, 7])
+    def test_printable_figures(self, number, capsys):
+        assert main(["figure", str(number)]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_figure_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "12"])
