@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Repository check gate: invariants + lint + tier-1 tests.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the test suite (invariant grep + lint only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+# --- Invariant: one timing site -------------------------------------------------
+# Codec-cost timing lives in core/engine.py (the CodecExecutor) and the
+# netsim calibration/clock substrate — nowhere else.  Every other layer
+# must account for time through the engine, or the measured/modeled mode
+# switch silently stops covering it.
+echo "== invariant: time.perf_counter only in core/engine.py and netsim/"
+stray=$(grep -rn "perf_counter" src/repro --include="*.py" \
+    | grep -v "src/repro/core/engine.py" \
+    | grep -v "src/repro/netsim/" || true)
+if [ -n "$stray" ]; then
+    echo "FAIL: perf_counter outside the sanctioned timing sites:" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+echo "ok"
+
+# --- Invariant: one frame parser ------------------------------------------------
+# All wire parsing goes through repro.compression.framing.parse_frame;
+# struct-based length prefixes must not reappear in the transports.
+echo "== invariant: no struct-based framing in middleware"
+stray=$(grep -rn "struct.unpack\|struct.pack" src/repro/middleware --include="*.py" || true)
+if [ -n "$stray" ]; then
+    echo "FAIL: raw struct framing in middleware (use repro.compression.framing):" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+echo "ok"
+
+# --- Lint -----------------------------------------------------------------------
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check"
+    ruff check src tests
+else
+    echo "== ruff not installed; skipping lint"
+fi
+
+# --- Tier-1 tests ---------------------------------------------------------------
+if [ "$fast" -eq 1 ]; then
+    echo "== --fast: skipping test suite"
+    exit 0
+fi
+echo "== tier-1 test suite"
+PYTHONPATH=src python -m pytest -x -q

@@ -34,7 +34,6 @@ from .compression import (
     Lz77Codec,
     available_codecs,
     get_codec,
-    measure,
     register_codec,
 )
 from .core import (
@@ -43,7 +42,11 @@ from .core import (
     METHOD_CODES,
     AdaptivePipeline,
     AdaptivePolicy,
+    BlockEngine,
+    BlockExecution,
     BlockRecord,
+    BlockStats,
+    CodecExecutor,
     Decision,
     DecisionInputs,
     DecisionThresholds,
@@ -53,6 +56,7 @@ from .core import (
     ReducingSpeedMonitor,
     SampleResult,
     StreamResult,
+    measure,
     select_method,
 )
 from .data import (
@@ -91,11 +95,15 @@ __all__ = [
     "AdaptivePolicy",
     "AdaptiveSubscriber",
     "ArithmeticCodec",
+    "BlockEngine",
+    "BlockExecution",
     "BlockRecord",
+    "BlockStats",
     "BurrowsWheelerCodec",
     "Codec",
     "CodecCostModel",
     "CodecError",
+    "CodecExecutor",
     "CommercialDataGenerator",
     "CompressionResult",
     "CorruptStreamError",

@@ -7,8 +7,17 @@ modified chunk-synchronizable Burrows-Wheeler pipeline — behind a uniform
 """
 
 from .arithmetic import AdaptiveByteModel, ArithmeticCodec, ContextArithmeticCodec
-from .base import Codec, CodecError, CompressionResult, CorruptStreamError, measure
+from .base import Codec, CodecError, CompressionResult, CorruptStreamError
 from .bitio import BitReader, BitWriter
+from .framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_block_frame,
+    encode_frame,
+    parse_frame,
+)
 from .bwhuff import BurrowsWheelerCodec
 from .bwt import bwt_inverse, bwt_transform, suffix_array
 from .huffman import HuffmanCode, HuffmanCodec, StreamDecoder, huffman_code_lengths
@@ -40,6 +49,9 @@ __all__ = [
     "CompressionResult",
     "ContextArithmeticCodec",
     "CorruptStreamError",
+    "DEFAULT_MAX_FRAME_SIZE",
+    "Frame",
+    "FrameDecoder",
     "HuffmanCode",
     "HuffmanCodec",
     "IdentityCodec",
@@ -57,12 +69,15 @@ __all__ = [
     "available_codecs",
     "bwt_inverse",
     "bwt_transform",
+    "decode_frame",
+    "encode_block_frame",
+    "encode_frame",
     "get_codec",
     "huffman_code_lengths",
-    "measure",
     "mtf_decode",
     "parallel_huffman_decode",
     "mtf_encode",
+    "parse_frame",
     "register_codec",
     "rle_decode",
     "rle_encode",

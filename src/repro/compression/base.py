@@ -14,16 +14,14 @@ method id was used (transported as a quality attribute).
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 __all__ = [
     "Codec",
     "CodecError",
     "CorruptStreamError",
     "CompressionResult",
-    "measure",
 ]
 
 
@@ -31,8 +29,13 @@ class CodecError(Exception):
     """Base class for all compression-related failures."""
 
 
-class CorruptStreamError(CodecError):
-    """The compressed representation cannot be decoded."""
+class CorruptStreamError(CodecError, ValueError):
+    """The compressed representation cannot be decoded.
+
+    Also a :class:`ValueError`: corrupt wire input is a bad value, and the
+    shared framing module serves layers whose callers historically caught
+    ``ValueError`` (the event wire format).
+    """
 
 
 class Codec(abc.ABC):
@@ -117,21 +120,6 @@ class CompressionResult:
         return self.original_size / self.elapsed_seconds
 
 
-def measure(codec: Codec, data: bytes, keep_payload: bool = True) -> CompressionResult:
-    """Compress ``data`` with ``codec`` under a wall-clock timer.
-
-    This is the measurement primitive behind the sampling process of §2.5:
-    the selector periodically compresses a small sample and uses the
-    resulting :class:`CompressionResult` to estimate both the reducing speed
-    and the achievable ratio for the next block.
-    """
-    start = time.perf_counter()
-    payload = codec.compress(data)
-    elapsed = time.perf_counter() - start
-    return CompressionResult(
-        codec_name=codec.name,
-        original_size=len(data),
-        compressed_size=len(payload),
-        elapsed_seconds=elapsed,
-        payload=payload if keep_payload else None,
-    )
+# The timed ``measure`` primitive lives in :mod:`repro.core.engine` — the
+# single sanctioned timing site (see DESIGN.md §5, one-timing-site
+# invariant).  This module stays timing-free.

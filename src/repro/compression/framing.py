@@ -1,0 +1,232 @@
+"""The one self-describing wire format shared by every transport layer.
+
+Before this module existed the tree carried three incompatible frame
+formats (block streaming, event transport, raw TCP length prefixes).
+Now there is exactly one frame layout and exactly one frame parser::
+
+    varint header_length | header | varint payload_length | payload
+
+Only the *interpretation* of the header belongs to the producing layer:
+
+* block streams (:mod:`repro.compression.streaming`) put the codec
+  method name there (ASCII, at most :data:`MAX_METHOD_NAME` bytes) —
+  read it back through :attr:`Frame.method`;
+* the event transports (:mod:`repro.middleware.transport`,
+  :mod:`repro.middleware.tcp`) put a JSON metadata document there;
+* control messages (TCP subscription handshake) use an empty header.
+
+Because the layout is shared, a frame produced by any layer is
+recoverable by any other layer's parser.
+
+Hostile input is bounded: a frame whose declared header or payload
+length exceeds the decoder's limits raises
+:class:`~repro.compression.base.CorruptStreamError` immediately instead
+of buffering indefinitely (``max_frame_size`` defaults to 16 MiB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .base import CorruptStreamError
+from .varint import varint_size, write_varint
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_SIZE",
+    "DEFAULT_MAX_HEADER_SIZE",
+    "MAX_METHOD_NAME",
+    "Frame",
+    "FrameDecoder",
+    "decode_frame",
+    "encode_block_frame",
+    "encode_frame",
+    "parse_frame",
+]
+
+#: Upper bound on a declared payload length (satellite: a corrupt or
+#: hostile header must not make a decoder buffer without bound).
+DEFAULT_MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+#: Upper bound on a declared header length (JSON event headers are small;
+#: method names are tiny).
+DEFAULT_MAX_HEADER_SIZE = 1024 * 1024
+
+#: Longest plausible codec method name carried in a block-stream header.
+MAX_METHOD_NAME = 64
+
+_Buffer = Union[bytes, bytearray, memoryview]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed frame: opaque header bytes plus the payload."""
+
+    header: bytes
+    payload: bytes
+
+    @property
+    def method(self) -> str:
+        """Interpret the header as a codec method name (block streams)."""
+        if not self.header or len(self.header) > MAX_METHOD_NAME:
+            raise CorruptStreamError("implausible method-name length in frame")
+        try:
+            return self.header.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CorruptStreamError("non-ASCII method name in frame") from exc
+
+    @property
+    def wire_size(self) -> int:
+        """Encoded size of this frame including the varint prefixes."""
+        return (
+            varint_size(len(self.header))
+            + len(self.header)
+            + varint_size(len(self.payload))
+            + len(self.payload)
+        )
+
+
+def encode_frame(header: bytes, payload: bytes) -> bytes:
+    """Encode one frame: ``varint len | header | varint len | payload``."""
+    out = bytearray()
+    write_varint(out, len(header))
+    out += header
+    write_varint(out, len(payload))
+    out += payload
+    return bytes(out)
+
+
+def encode_block_frame(method: str, payload: bytes) -> bytes:
+    """Encode a block-stream frame whose header is the codec method name."""
+    name = method.encode("ascii")
+    if not name or len(name) > MAX_METHOD_NAME:
+        raise ValueError(f"method name {method!r} is not frameable")
+    return encode_frame(name, payload)
+
+
+def _read_varint_partial(data: _Buffer, position: int) -> Optional[Tuple[int, int]]:
+    """Varint read that distinguishes *incomplete* (None) from *malformed*."""
+    result = 0
+    shift = 0
+    while True:
+        if position >= len(data):
+            return None
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise CorruptStreamError("oversized varint in frame header")
+
+
+def parse_frame(
+    data: _Buffer,
+    offset: int = 0,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+    max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+) -> Optional[Tuple[Frame, int]]:
+    """THE frame parser (the only one in the tree).
+
+    Returns ``(frame, next_offset)``, or ``None`` when ``data`` holds
+    only a prefix of a frame.  Raises
+    :class:`~repro.compression.base.CorruptStreamError` when the input
+    cannot be a valid frame — malformed varints or declared lengths
+    beyond ``max_header_size`` / ``max_frame_size``.
+    """
+    parsed = _read_varint_partial(data, offset)
+    if parsed is None:
+        return None
+    header_length, position = parsed
+    if header_length > max_header_size:
+        raise CorruptStreamError(
+            f"frame header of {header_length} bytes exceeds limit of {max_header_size}"
+        )
+    if len(data) - position < header_length:
+        return None
+    header_end = position + header_length
+    parsed = _read_varint_partial(data, header_end)
+    if parsed is None:
+        return None
+    payload_length, position = parsed
+    if payload_length > max_frame_size:
+        raise CorruptStreamError(
+            f"frame payload of {payload_length} bytes exceeds max_frame_size "
+            f"of {max_frame_size}"
+        )
+    if len(data) - position < payload_length:
+        return None
+    header = bytes(data[header_end - header_length : header_end])
+    payload = bytes(data[position : position + payload_length])
+    return Frame(header=header, payload=payload), position + payload_length
+
+
+def decode_frame(
+    data: _Buffer,
+    offset: int = 0,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+    max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+) -> Tuple[Frame, int]:
+    """Parse one complete frame; truncation raises ``CorruptStreamError``."""
+    parsed = parse_frame(
+        data, offset, max_frame_size=max_frame_size, max_header_size=max_header_size
+    )
+    if parsed is None:
+        raise CorruptStreamError("truncated frame")
+    return parsed
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, get complete frames.
+
+    Buffering is bounded by the limits: a frame whose declared lengths
+    exceed them raises immediately, so a corrupt or hostile stream can
+    never make the decoder hold more than roughly
+    ``max_header_size + max_frame_size`` bytes.
+    """
+
+    def __init__(
+        self,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+    ) -> None:
+        if max_frame_size < 0 or max_header_size < 0:
+            raise ValueError("frame limits must be non-negative")
+        self.max_frame_size = max_frame_size
+        self.max_header_size = max_header_size
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Accept bytes; returns every frame completed by them."""
+        self._buffer += data
+        frames: List[Frame] = []
+        offset = 0
+        while True:
+            parsed = parse_frame(
+                self._buffer,
+                offset,
+                max_frame_size=self.max_frame_size,
+                max_header_size=self.max_header_size,
+            )
+            if parsed is None:
+                break
+            frame, offset = parsed
+            frames.append(frame)
+            self.frames_decoded += 1
+        if offset:
+            del self._buffer[:offset]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Assert the stream ended cleanly at a frame boundary."""
+        if self._buffer:
+            raise CorruptStreamError(
+                f"{len(self._buffer)} trailing bytes mid-frame at stream end"
+            )

@@ -12,25 +12,30 @@ output — without holding the whole stream in memory:
   callable and it is consulted per block.
 * :class:`StreamingDecompressor` — feed arbitrary byte chunks of the
   framed stream; decoded data comes out as it completes.  Framing is
-  self-describing, so the decompressor needs no out-of-band state.
+  self-describing, so the decompressor needs no out-of-band state, and
+  buffering is bounded by ``max_frame_size`` (a corrupt or hostile
+  header cannot make the decoder buffer indefinitely).
 
-Frame layout::
-
-    varint  method_name_length | method_name | varint payload_length | payload
+Frames are the shared :mod:`repro.compression.framing` layout with the
+codec method name as the header, so any framing-aware peer (including
+the TCP transport's parser) can recover them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-from .base import CorruptStreamError
+from .framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    MAX_METHOD_NAME,
+    FrameDecoder,
+    encode_block_frame,
+)
 from .registry import get_codec
-from .varint import read_varint, write_varint
 
 __all__ = ["StreamingCompressor", "StreamingDecompressor", "DEFAULT_STREAM_BLOCK"]
 
 DEFAULT_STREAM_BLOCK = 128 * 1024
-_MAX_METHOD_NAME = 64
 
 
 class StreamingCompressor:
@@ -79,21 +84,15 @@ class StreamingCompressor:
         self._pending.clear()
         frame = self._frame(block)
         self.bytes_out += len(frame)
-        return bytes(frame)
+        return frame
 
-    def _frame(self, block: bytes) -> bytearray:
+    def _frame(self, block: bytes) -> bytes:
         method = self.method
         if self.method_picker is not None:
             method = self.method_picker(block)
         payload = get_codec(method).compress(block)
-        frame = bytearray()
-        name = method.encode()
-        write_varint(frame, len(name))
-        frame += name
-        write_varint(frame, len(payload))
-        frame += payload
         self.frames_emitted += 1
-        return frame
+        return encode_block_frame(method, payload)
 
     @property
     def ratio(self) -> float:
@@ -106,55 +105,30 @@ class StreamingCompressor:
 class StreamingDecompressor:
     """Incremental decoder for :class:`StreamingCompressor` output."""
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
+    def __init__(self, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> None:
+        self._decoder = FrameDecoder(
+            max_frame_size=max_frame_size, max_header_size=MAX_METHOD_NAME
+        )
         self.frames_decoded = 0
 
     def write(self, data: bytes) -> bytes:
-        """Accept framed bytes; returns all newly completed plaintext."""
-        self._buffer += data
-        out = bytearray()
-        while True:
-            frame = self._try_frame()
-            if frame is None:
-                break
-            out += frame
-        return bytes(out)
+        """Accept framed bytes; returns all newly completed plaintext.
 
-    def _try_frame(self) -> Optional[bytes]:
-        buffer = self._buffer
-        try:
-            name_length, offset = read_varint(buffer, 0)
-        except CorruptStreamError:
-            return None  # header not complete yet
-        if name_length == 0 or name_length > _MAX_METHOD_NAME:
-            raise CorruptStreamError("implausible method-name length in frame")
-        if len(buffer) < offset + name_length:
-            return None
-        try:
-            method = bytes(buffer[offset : offset + name_length]).decode("ascii")
-        except UnicodeDecodeError as exc:
-            raise CorruptStreamError("non-ASCII method name in frame") from exc
-        offset += name_length
-        try:
-            payload_length, offset = read_varint(buffer, offset)
-        except CorruptStreamError:
-            return None
-        if len(buffer) < offset + payload_length:
-            return None
-        payload = bytes(buffer[offset : offset + payload_length])
-        del buffer[: offset + payload_length]
-        self.frames_decoded += 1
-        return get_codec(method).decompress(payload)
+        Raises :class:`~repro.compression.base.CorruptStreamError` when
+        the stream cannot be valid framing — including a declared frame
+        size beyond ``max_frame_size``.
+        """
+        out = bytearray()
+        for frame in self._decoder.feed(data):
+            out += get_codec(frame.method).decompress(frame.payload)
+            self.frames_decoded += 1
+        return bytes(out)
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered awaiting a complete frame."""
-        return len(self._buffer)
+        return self._decoder.pending_bytes
 
     def close(self) -> None:
         """Assert the stream ended cleanly at a frame boundary."""
-        if self._buffer:
-            raise CorruptStreamError(
-                f"{len(self._buffer)} trailing bytes mid-frame at stream end"
-            )
+        self._decoder.close()

@@ -11,6 +11,14 @@ from .calibration import (
     ThresholdCalibration,
     calibrate_thresholds,
 )
+from .engine import (
+    BlockEngine,
+    BlockExecution,
+    BlockStats,
+    CodecExecutor,
+    cut_blocks,
+    measure,
+)
 from .decision import (
     FIGURE1_TABLE,
     Decision,
@@ -33,7 +41,11 @@ from .sampler import DEFAULT_SAMPLE_SIZE, LzSampler, SampleResult
 __all__ = [
     "AdaptivePipeline",
     "AdaptivePolicy",
+    "BlockEngine",
+    "BlockExecution",
     "BlockRecord",
+    "BlockStats",
+    "CodecExecutor",
     "CompressionPolicy",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_SAMPLE_SIZE",
@@ -51,5 +63,7 @@ __all__ = [
     "StreamResult",
     "ThresholdCalibration",
     "calibrate_thresholds",
+    "cut_blocks",
+    "measure",
     "select_method",
 ]

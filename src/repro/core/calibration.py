@@ -32,7 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..compression.base import Codec, measure
+from ..compression.base import Codec
+from .engine import measure
 from ..compression.registry import get_codec
 from .decision import DecisionThresholds
 

@@ -1,0 +1,429 @@
+"""The single execution substrate for timed codec work.
+
+Every place the repository compresses or decompresses a block *and
+accounts for the cost* — the §2.5 adaptive pipeline, the 4 KB Lempel-Ziv
+sampling probe, the middleware compression handlers, the microbenchmark
+harnesses — routes through this module's :class:`CodecExecutor`.  It is
+the only module in ``src/repro`` outside ``netsim/`` allowed to call
+``time.perf_counter`` (``scripts/check.sh`` enforces the invariant), so
+the measured-vs-modeled mode switch and the cost-model/CPU scaling rules
+exist in exactly one place:
+
+* **measured** (no models): the codec really runs under a wall-clock
+  timer and the measured time is reported;
+* **CPU-scaled** (``cpu`` only): the measured time is rescaled to the
+  modeled machine's speed and load;
+* **modeled** (``cost_model``): the codec still really runs (sizes are
+  real) but the reported time comes from the calibrated
+  :class:`~repro.netsim.cpu.CodecCostModel` — which is what makes the
+  Figure 8-12 replays deterministic.
+
+:class:`BlockEngine` layers the paper's block discipline on top: cut a
+byte stream into fixed-size blocks, pick a method per block through a
+selection callback, execute it on the :class:`CodecExecutor`, and emit
+one :class:`BlockStats` per block to pluggable observers.  This is the
+substrate later scaling work (parallel workers, async transports,
+metrics export) plugs into.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..compression.base import Codec, CodecError, CompressionResult
+from ..compression.registry import get_codec
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockExecution",
+    "BlockStats",
+    "BlockEngine",
+    "CodecExecutor",
+    "Observer",
+    "Selector",
+    "cut_blocks",
+    "measure",
+    "measure_decompress",
+]
+
+#: "Take a block of 128KB" — the paper's block size, chosen "according to
+#: the efficiency of compression methods based on [32, 33]".
+DEFAULT_BLOCK_SIZE = 128 * 1024
+
+
+# -- timing primitives (the one perf_counter site) -------------------------------
+
+
+def measure(codec: Codec, data: bytes, keep_payload: bool = True) -> CompressionResult:
+    """Compress ``data`` with ``codec`` under a wall-clock timer.
+
+    This is the measurement primitive behind the sampling process of §2.5:
+    the selector periodically compresses a small sample and uses the
+    resulting :class:`~repro.compression.base.CompressionResult` to
+    estimate both the reducing speed and the achievable ratio for the
+    next block.
+    """
+    start = time.perf_counter()
+    payload = codec.compress(data)
+    elapsed = time.perf_counter() - start
+    return CompressionResult(
+        codec_name=codec.name,
+        original_size=len(data),
+        compressed_size=len(payload),
+        elapsed_seconds=elapsed,
+        payload=payload if keep_payload else None,
+    )
+
+
+def measure_decompress(codec: Codec, payload: bytes) -> Tuple[bytes, float]:
+    """Decompress ``payload`` under a wall-clock timer; returns (data, seconds)."""
+    start = time.perf_counter()
+    data = codec.decompress(payload)
+    elapsed = time.perf_counter() - start
+    return data, elapsed
+
+
+# -- execution records -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockExecution:
+    """Outcome of compressing one block through the executor.
+
+    ``method`` is the method that actually produced ``payload``; it
+    differs from ``requested_method`` only when the expansion guard fell
+    back to ``none`` because the codec grew the block.
+    """
+
+    requested_method: str
+    method: str
+    original_size: int
+    payload: bytes
+    seconds: float
+    fell_back: bool = False
+    verified: bool = False
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(0, self.original_size - self.compressed_size)
+
+    @property
+    def reducing_speed(self) -> float:
+        """Bytes removed per second of CPU time (paper §4.1, Figure 4)."""
+        if self.seconds <= 0.0:
+            return float("inf") if self.bytes_saved else 0.0
+        return self.bytes_saved / self.seconds
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """Per-block accounting emitted to :class:`BlockEngine` observers."""
+
+    index: int
+    requested_method: str
+    method: str
+    original_size: int
+    compressed_size: int
+    compression_seconds: float
+    decompression_seconds: float
+    fell_back: bool = False
+    verified: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(0, self.original_size - self.compressed_size)
+
+    @property
+    def reducing_speed(self) -> float:
+        if self.compression_seconds <= 0.0:
+            return float("inf") if self.bytes_saved else 0.0
+        return self.bytes_saved / self.compression_seconds
+
+
+# -- the executor ----------------------------------------------------------------
+
+
+class CodecExecutor:
+    """Timed compress/decompress with the cost-model/CPU scaling rules.
+
+    ``verify`` round-trips every compressed block and raises
+    :class:`~repro.compression.base.CodecError` on mismatch.
+    ``expansion_fallback`` enables the expansion guard: when a codec
+    *grows* a block (common on molecular coordinates) the executor ships
+    the original bytes under method ``none`` instead, so the method name
+    the receiver sees stays truthful.  ``cost_model_fallback`` makes a
+    cost model that lacks the requested codec fall back to the measured
+    path instead of raising ``KeyError`` (runtime-tunable codecs are not
+    calibrated).
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional["object"] = None,
+        cpu: Optional["object"] = None,
+        verify: bool = False,
+        expansion_fallback: bool = False,
+        cost_model_fallback: bool = False,
+    ) -> None:
+        self.cost_model = cost_model
+        self.cpu = cpu
+        self.verify = verify
+        self.expansion_fallback = expansion_fallback
+        self.cost_model_fallback = cost_model_fallback
+
+    # -- scaling rules (the 5× duplicated branch, now in one place) --------------
+
+    def _scale_compression_time(self, method: str, size: int, measured: float) -> float:
+        if self.cost_model is not None:
+            try:
+                return self.cost_model.compression_time(method, size, self.cpu)
+            except KeyError:
+                if not self.cost_model_fallback:
+                    raise
+        if self.cpu is not None:
+            return self.cpu.scale_time(measured)
+        return measured
+
+    def _scale_decompression_time(self, method: str, size: int, measured: float) -> float:
+        if self.cost_model is not None:
+            try:
+                return self.cost_model.decompression_time(method, size, self.cpu)
+            except KeyError:
+                if not self.cost_model_fallback:
+                    raise
+        if self.cpu is not None:
+            return self.cpu.scale_time(measured)
+        return measured
+
+    # -- execution ---------------------------------------------------------------
+
+    def compress(
+        self, method: str, block: bytes, codec: Optional[Codec] = None
+    ) -> BlockExecution:
+        """Compress ``block`` with ``method`` and account for the cost.
+
+        ``codec`` overrides the registry lookup (runtime-tunable or
+        unregistered codec instances); the cost model is still consulted
+        under ``method``.
+        """
+        if method == "none":
+            return BlockExecution(
+                requested_method="none",
+                method="none",
+                original_size=len(block),
+                payload=block,
+                seconds=0.0,
+            )
+        codec = codec if codec is not None else get_codec(method)
+        result = measure(codec, block)
+        payload = result.payload
+        assert payload is not None
+        seconds = self._scale_compression_time(method, len(block), result.elapsed_seconds)
+        verified = False
+        if self.verify:
+            if codec.decompress(payload) != block:
+                raise CodecError(f"codec {method!r} failed to round-trip a block")
+            verified = True
+        if self.expansion_fallback and len(payload) >= len(block):
+            return BlockExecution(
+                requested_method=method,
+                method="none",
+                original_size=len(block),
+                payload=block,
+                seconds=seconds,
+                fell_back=True,
+                verified=verified,
+            )
+        return BlockExecution(
+            requested_method=method,
+            method=method,
+            original_size=len(block),
+            payload=payload,
+            seconds=seconds,
+            verified=verified,
+        )
+
+    def decompression_time(
+        self,
+        method: str,
+        original_size: int,
+        payload: bytes,
+        codec: Optional[Codec] = None,
+    ) -> float:
+        """Receiver-side cost of reconstructing ``original_size`` bytes.
+
+        In modeled mode the calibrated table answers without running the
+        codec (which keeps the deterministic replays fast); otherwise the
+        payload is really decompressed under the timer.
+        """
+        if method == "none":
+            return 0.0
+        if self.cost_model is not None:
+            try:
+                return self.cost_model.decompression_time(method, original_size, self.cpu)
+            except KeyError:
+                if not self.cost_model_fallback:
+                    raise
+        codec = codec if codec is not None else get_codec(method)
+        _, measured = measure_decompress(codec, payload)
+        return self.cpu.scale_time(measured) if self.cpu is not None else measured
+
+    def measure_roundtrip(
+        self, method: str, data: bytes, codec: Optional[Codec] = None
+    ) -> Tuple[BlockExecution, float]:
+        """Compress then decompress ``data``; returns (execution, decompress seconds).
+
+        The microbenchmark primitive (Figures 2, 3, 6): both directions
+        really run, both are timed, and the round-trip is checked.
+        """
+        codec = codec if codec is not None else get_codec(method)
+        execution = self.compress(method, data, codec=codec)
+        if execution.method == "none":
+            return execution, 0.0
+        restored, measured = measure_decompress(codec, execution.payload)
+        if restored != data:
+            raise CodecError(f"codec {method!r} failed to round-trip a block")
+        return execution, self._scale_decompression_time(method, len(data), measured)
+
+
+# -- block discipline ------------------------------------------------------------
+
+Observer = Callable[[BlockStats], None]
+Selector = Callable[[int, bytes], str]
+
+
+def cut_blocks(
+    data: Union[bytes, bytearray, Iterable[bytes]],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[bytes]:
+    """Cut a byte string or a chunk iterable into ``block_size`` blocks.
+
+    The §2.5 "Take a block of 128KB" step: full blocks are emitted as
+    soon as enough input accumulated; a non-empty tail becomes the final
+    (short) block.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    chunks: Iterable[bytes]
+    if isinstance(data, (bytes, bytearray)):
+        chunks = (bytes(data),)
+    else:
+        chunks = data
+    pending = bytearray()
+    for chunk in chunks:
+        pending += chunk
+        while len(pending) >= block_size:
+            yield bytes(pending[:block_size])
+            del pending[:block_size]
+    if pending:
+        yield bytes(pending)
+
+
+class BlockEngine:
+    """Block cutting + method selection + execution + per-block stats.
+
+    ``selector`` is consulted per block (``selector(index, block) ->
+    method name``) when :meth:`execute` is not given an explicit method.
+    Observers receive one :class:`BlockStats` per executed block — the
+    hook monitoring, metrics export, and tests attach to.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[CodecExecutor] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        selector: Optional[Selector] = None,
+        observers: Optional[Iterable[Observer]] = None,
+        time_decompression: bool = True,
+    ) -> None:
+        if block_size < 1024:
+            raise ValueError("block_size must be at least 1 KB")
+        self.executor = executor if executor is not None else CodecExecutor()
+        self.block_size = block_size
+        self.selector = selector
+        self.observers: List[Observer] = list(observers) if observers else []
+        self.time_decompression = time_decompression
+        self.blocks_executed = 0
+
+    def add_observer(self, observer: Observer) -> Callable[[], None]:
+        """Attach ``observer``; returns a detach callable."""
+        self.observers.append(observer)
+
+        def detach() -> None:
+            if observer in self.observers:
+                self.observers.remove(observer)
+
+        return detach
+
+    def cut(self, data: Union[bytes, bytearray, Iterable[bytes]]) -> Iterator[bytes]:
+        """Cut ``data`` into this engine's block size."""
+        return cut_blocks(data, self.block_size)
+
+    def execute(
+        self,
+        block: bytes,
+        method: Optional[str] = None,
+        index: Optional[int] = None,
+        codec: Optional[Codec] = None,
+    ) -> Tuple[bytes, BlockStats]:
+        """Compress one block; returns (payload, stats) and notifies observers."""
+        if index is None:
+            index = self.blocks_executed
+        if method is None:
+            if self.selector is None:
+                raise ValueError("no method given and no selector configured")
+            method = self.selector(index, block)
+        execution = self.executor.compress(method, block, codec=codec)
+        decompression_seconds = 0.0
+        if self.time_decompression:
+            decompression_seconds = self.executor.decompression_time(
+                execution.method, len(block), execution.payload, codec=codec
+            )
+        stats = BlockStats(
+            index=index,
+            requested_method=execution.requested_method,
+            method=execution.method,
+            original_size=execution.original_size,
+            compressed_size=execution.compressed_size,
+            compression_seconds=execution.seconds,
+            decompression_seconds=decompression_seconds,
+            fell_back=execution.fell_back,
+            verified=execution.verified,
+        )
+        self.blocks_executed += 1
+        for observer in list(self.observers):
+            observer(stats)
+        return execution.payload, stats
+
+    def run(
+        self,
+        data: Union[bytes, bytearray, Iterable[bytes]],
+        method: Optional[str] = None,
+    ) -> List[Tuple[bytes, BlockStats]]:
+        """Cut ``data`` and execute every block.
+
+        ``method`` fixes the codec for the whole stream; when omitted the
+        per-block ``selector`` decides.
+        """
+        return [
+            self.execute(block, method=method, index=i)
+            for i, block in enumerate(self.cut(data))
+        ]

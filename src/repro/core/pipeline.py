@@ -21,6 +21,12 @@ cost modes exist:
   scaled by a :class:`~repro.netsim.cpu.CpuModel` — right for the
   deterministic Figure 8-12 replays.
 
+Both modes are implemented by the shared
+:class:`~repro.core.engine.CodecExecutor`; the pipeline itself never
+touches a timer.  Every block execution flows through a
+:class:`~repro.core.engine.BlockEngine`, so per-block
+:class:`~repro.core.engine.BlockStats` reach any registered observers.
+
 Time accounting mirrors the fork: the sampling probe overlaps the send,
 so each block advances the virtual clock by
 ``compression_time + max(send_time, sample_time)``; receiver-side
@@ -30,18 +36,16 @@ bandwidth estimator sees (§2.5: acceptance speed includes receiver CPU).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..compression.base import CodecError
-from ..compression.registry import get_codec
 from ..netsim.bandwidth import BandwidthEstimator, EwmaBandwidthEstimator
 from ..netsim.clock import Clock, VirtualClock
 from ..netsim.cpu import CodecCostModel, CpuModel
 from ..netsim.link import SimulatedLink
 from ..netsim.loadtrace import LoadTrace
 from .decision import DecisionThresholds
+from .engine import DEFAULT_BLOCK_SIZE, BlockEngine, CodecExecutor, Observer
 from .monitor import ReducingSpeedMonitor
 from .policy import AdaptivePolicy, CompressionPolicy
 from .sampler import LzSampler, SampleResult
@@ -53,10 +57,6 @@ __all__ = [
     "StreamResult",
     "AdaptivePipeline",
 ]
-
-#: "Take a block of 128KB" — the paper's block size, chosen "according to
-#: the efficiency of compression methods based on [32, 33]".
-DEFAULT_BLOCK_SIZE = 128 * 1024
 
 #: Numeric codes used on the y-axes of Figures 8 and 11
 #: (1 = no compression, 2 = Lempel-Ziv, 3 = Burrows-Wheeler, 4 = Huffman).
@@ -205,6 +205,7 @@ class AdaptivePipeline:
         cpu: Optional[CpuModel] = None,
         monitor_alpha: float = 0.5,
         verify: bool = False,
+        observers: Optional[Iterable[Observer]] = None,
     ) -> None:
         if block_size < 1024:
             raise ValueError("block_size must be at least 1 KB")
@@ -224,6 +225,12 @@ class AdaptivePipeline:
         )
         self.monitor_alpha = monitor_alpha
         self.verify = verify
+        # All timed codec work flows through the shared execution substrate;
+        # per-block stats reach any observers the caller registered.
+        self.executor = CodecExecutor(cost_model=cost_model, cpu=cpu, verify=verify)
+        self.engine = BlockEngine(
+            executor=self.executor, block_size=block_size, observers=observers
+        )
 
     def run(
         self,
@@ -294,7 +301,8 @@ class AdaptivePipeline:
             decision = self.policy.choose(len(block), sending_time_estimate, monitor, sample)
             method = decision.method
 
-            payload, compression_time = self._compress(method, block)
+            payload, stats = self.engine.execute(block, method=method, index=index)
+            compression_time = stats.compression_seconds
             if method != "none" and compression_time > 0:
                 monitor.observe_raw(
                     method, max(0, len(block) - len(payload)), compression_time
@@ -314,7 +322,7 @@ class AdaptivePipeline:
             connections = load.connections_at(send_start) if load is not None else 0.0
             send_time = link.transfer_time(len(payload), connections)
             link_free = send_start + send_time
-            decompression_time = self._decompression_time(method, block, payload)
+            decompression_time = stats.decompression_seconds
             last_delivery_done = link_free + decompression_time
             estimator.observe(len(payload), send_time + decompression_time)
 
@@ -350,37 +358,3 @@ class AdaptivePipeline:
 
         total_time = max(clock.now(), last_delivery_done)
         return StreamResult(records, total_time)
-
-    # -- internals ------------------------------------------------------------------
-
-    def _compress(self, method: str, block: bytes) -> Tuple[bytes, float]:
-        codec = get_codec(method)
-        if method == "none":
-            return block, 0.0
-        start = time.perf_counter()
-        payload = codec.compress(block)
-        measured = time.perf_counter() - start
-        if self.cost_model is not None:
-            elapsed = self.cost_model.compression_time(method, len(block), self.cpu)
-        elif self.cpu is not None:
-            elapsed = self.cpu.scale_time(measured)
-        else:
-            elapsed = measured
-        if self.verify:
-            roundtrip = codec.decompress(payload)
-            if roundtrip != block:
-                raise CodecError(f"codec {method!r} failed to round-trip a block")
-        return payload, elapsed
-
-    def _decompression_time(self, method: str, block: bytes, payload: bytes) -> float:
-        if method == "none":
-            return 0.0
-        if self.cost_model is not None:
-            return self.cost_model.decompression_time(method, len(block), self.cpu)
-        codec = get_codec(method)
-        start = time.perf_counter()
-        codec.decompress(payload)
-        measured = time.perf_counter() - start
-        if self.cpu is not None:
-            return self.cpu.scale_time(measured)
-        return measured

@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..compression.base import Codec, measure
+from ..compression.base import Codec
 from ..compression.registry import get_codec
 from ..netsim.cpu import CodecCostModel, CpuModel
+from .engine import CodecExecutor
 
 __all__ = ["SampleResult", "LzSampler", "DEFAULT_SAMPLE_SIZE"]
 
@@ -69,23 +70,16 @@ class LzSampler:
         self.codec = codec if codec is not None else get_codec("lempel-ziv")
         self.cost_model = cost_model
         self.cpu = cpu
+        self.executor = CodecExecutor(cost_model=cost_model, cpu=cpu)
 
     def sample(self, next_block: bytes) -> SampleResult:
         """Probe ``next_block``'s first ``sample_size`` bytes."""
         head = next_block[: self.sample_size]
         if not head:
             return SampleResult(sample_size=0, compressed_size=0, elapsed_seconds=0.0)
-        result = measure(self.codec, head, keep_payload=False)
-        if self.cost_model is not None:
-            elapsed = self.cost_model.compression_time(
-                self.codec.name, len(head), self.cpu
-            )
-        else:
-            elapsed = result.elapsed_seconds
-            if self.cpu is not None:
-                elapsed = self.cpu.scale_time(elapsed)
+        execution = self.executor.compress(self.codec.name, head, codec=self.codec)
         return SampleResult(
             sample_size=len(head),
-            compressed_size=result.compressed_size,
-            elapsed_seconds=elapsed,
+            compressed_size=execution.compressed_size,
+            elapsed_seconds=execution.seconds,
         )

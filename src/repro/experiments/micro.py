@@ -7,13 +7,11 @@ would compare against the figures.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..compression.base import measure
-from ..compression.registry import get_codec
 from ..core.decision import FIGURE1_TABLE
+from ..core.engine import CodecExecutor
 from ..data.commercial import CommercialDataGenerator
 from ..data.molecular import MolecularDataGenerator
 from ..netsim.cpu import SUN_FIRE, ULTRA_SPARC, CpuModel
@@ -61,17 +59,17 @@ def commercial_sample(size: int = 512 * 1024, seed: int = 2004) -> bytes:
     return CommercialDataGenerator(seed=seed).xml_block(size)
 
 
+#: Shared measured-mode executor: the microbenchmarks time real codec
+#: runs on the host (no cost model, no CPU scaling).
+_EXECUTOR = CodecExecutor()
+
+
 def _measure_method(method: str, data: bytes) -> MicroResult:
-    codec = get_codec(method)
-    result = measure(codec, data)
-    assert result.payload is not None
-    start = time.perf_counter()
-    codec.decompress(result.payload)
-    decompress_seconds = time.perf_counter() - start
+    execution, decompress_seconds = _EXECUTOR.measure_roundtrip(method, data)
     return MicroResult(
         method=method,
-        ratio=result.ratio,
-        compress_seconds=result.elapsed_seconds,
+        ratio=execution.ratio,
+        compress_seconds=execution.seconds,
         decompress_seconds=decompress_seconds,
     )
 
@@ -115,8 +113,7 @@ def figure4_reducing_speeds(
     cpus = machines if machines is not None else [SUN_FIRE, ULTRA_SPARC]
     reference: Dict[str, float] = {}
     for method in METHOD_ORDER:
-        result = measure(get_codec(method), payload, keep_payload=False)
-        reference[method] = result.reducing_speed
+        reference[method] = _EXECUTOR.compress(method, payload).reducing_speed
     return {
         cpu.name: {m: cpu.scale_speed(s) for m, s in reference.items()} for cpu in cpus
     }

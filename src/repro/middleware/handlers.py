@@ -10,14 +10,20 @@ event or ``None`` (drop).  :class:`CompressionHandler` and
 :class:`DecompressionHandler` are the pair the paper integrates; a couple
 of generic handlers (filter, tap) demonstrate the broader mechanism and
 are used in tests and examples.
+
+All timed codec work routes through one
+:class:`~repro.core.engine.CodecExecutor` per handler — the shared
+execution substrate that owns the cost-model/CPU scaling rules and the
+expansion guard (a codec that *grows* a block ships the original bytes
+under method ``none``, so the method attribute stays truthful).
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional
 
 from ..compression.registry import get_codec
+from ..core.engine import CodecExecutor
 from ..netsim.cpu import CodecCostModel, CpuModel
 from .attributes import (
     ATTR_COMPRESSION_METHOD,
@@ -46,6 +52,12 @@ class CompressionHandler:
     handler — exactly the §3.2 mechanism.  The handler annotates events
     with the method name, original size, and compression time so the
     consumer can decompress and the adaptive controller can observe costs.
+
+    When the codec expands a block (common on near-incompressible data
+    such as molecular coordinates), the executor's expansion guard ships
+    the original payload with method ``none`` — the time spent is still
+    recorded, but the receiver never pays to decode a larger-than-original
+    payload.
     """
 
     def __init__(
@@ -53,38 +65,30 @@ class CompressionHandler:
         method: str,
         cost_model: Optional[CodecCostModel] = None,
         cpu: Optional[CpuModel] = None,
+        executor: Optional[CodecExecutor] = None,
     ) -> None:
         self.method = method
         self.codec = get_codec(method)
         self.cost_model = cost_model
         self.cpu = cpu
+        self.executor = (
+            executor
+            if executor is not None
+            else CodecExecutor(cost_model=cost_model, cpu=cpu, expansion_fallback=True)
+        )
 
     def __call__(self, event: Event) -> Event:
-        if self.method == "none":
-            return event.with_attributes(
-                **{
-                    ATTR_COMPRESSION_METHOD: "none",
-                    ATTR_ORIGINAL_SIZE: event.size,
-                    ATTR_COMPRESSION_SECONDS: 0.0,
-                }
-            )
-        start = time.perf_counter()
-        payload = self.codec.compress(event.payload)
-        measured = time.perf_counter() - start
-        if self.cost_model is not None:
-            elapsed = self.cost_model.compression_time(self.method, event.size, self.cpu)
-        elif self.cpu is not None:
-            elapsed = self.cpu.scale_time(measured)
-        else:
-            elapsed = measured
-        return event.with_payload(
-            payload,
-            **{
-                ATTR_COMPRESSION_METHOD: self.method,
-                ATTR_ORIGINAL_SIZE: event.size,
-                ATTR_COMPRESSION_SECONDS: elapsed,
-            },
-        )
+        execution = self.executor.compress(self.method, event.payload)
+        attributes = {
+            ATTR_COMPRESSION_METHOD: execution.method,
+            ATTR_ORIGINAL_SIZE: event.size,
+            ATTR_COMPRESSION_SECONDS: execution.seconds,
+        }
+        if execution.method == "none":
+            # Requested passthrough, or the expansion guard fell back:
+            # either way the payload is the original bytes.
+            return event.with_attributes(**attributes)
+        return event.with_payload(execution.payload, **attributes)
 
 
 class DecompressionHandler:
@@ -115,6 +119,10 @@ class TunableCompressionHandler:
     namespace, rebuilds its codec whenever the parameter attribute is set —
     so a consumer can, say, shrink Burrows-Wheeler chunks or loosen a lossy
     tolerance while events keep flowing.
+
+    Tunable codecs are typically not in the calibrated cost table, so the
+    executor runs with ``cost_model_fallback``: a missing calibration
+    entry falls back to the measured (CPU-scaled) time instead of raising.
     """
 
     def __init__(
@@ -129,6 +137,9 @@ class TunableCompressionHandler:
         self.factory = factory
         self.cost_model = cost_model
         self.cpu = cpu
+        self.executor = CodecExecutor(
+            cost_model=cost_model, cpu=cpu, cost_model_fallback=True
+        )
         self.parameters = dict(initial_parameters)
         self.codec = factory(**self.parameters)
         self.reconfigurations = 0
@@ -152,26 +163,13 @@ class TunableCompressionHandler:
         return attributes.subscribe(on_change)
 
     def __call__(self, event: Event) -> Event:
-        start = time.perf_counter()
-        payload = self.codec.compress(event.payload)
-        measured = time.perf_counter() - start
-        if self.cost_model is not None:
-            try:
-                elapsed = self.cost_model.compression_time(
-                    self.method, event.size, self.cpu
-                )
-            except KeyError:
-                elapsed = measured
-        elif self.cpu is not None:
-            elapsed = self.cpu.scale_time(measured)
-        else:
-            elapsed = measured
+        execution = self.executor.compress(self.method, event.payload, codec=self.codec)
         return event.with_payload(
-            payload,
+            execution.payload,
             **{
-                ATTR_COMPRESSION_METHOD: self.method,
+                ATTR_COMPRESSION_METHOD: execution.method,
                 ATTR_ORIGINAL_SIZE: event.size,
-                ATTR_COMPRESSION_SECONDS: elapsed,
+                ATTR_COMPRESSION_SECONDS: execution.seconds,
             },
         )
 

@@ -10,14 +10,27 @@ conditions with no code changes.
 Design (kept deliberately simple and dependency-free):
 
 * :class:`ChannelServer` — listens on a host/port; each client connection
-  sends one subscription request line naming a channel id; the server
+  sends one subscription request frame naming a channel id; the server
   subscribes to that channel on the client's behalf and forwards every
-  event as a length-prefixed :class:`~repro.middleware.transport.WireFormat`
-  frame.  One thread per connection.
+  event as one :class:`~repro.middleware.transport.WireFormat` frame.
+  One thread per connection.
 * :class:`RemoteChannel` — connects, subscribes, and replays incoming
   frames into a local mirror :class:`~repro.middleware.channels.EventChannel`
   from a reader thread, annotating each event with its measured transfer
   time and wire size (the same attributes the simulated bridges attach).
+
+Everything on the socket is a :mod:`repro.compression.framing` frame:
+the subscription handshake uses empty-header control frames, and events
+travel as WireFormat frames (which *are* framing frames — no second
+length prefix).  :class:`FrameReader` is the TCP-side incremental parser
+and is nothing but the shared :class:`~repro.compression.framing.FrameDecoder`
+fed from a socket, so frames produced by any other layer (e.g. a
+:class:`~repro.compression.streaming.StreamingCompressor`) parse here too.
+
+Transfer times are observed with ``time.monotonic`` — wall-clock network
+measurement, deliberately distinct from the codec-timing site in
+:mod:`repro.core.engine` (the one-timing-site invariant covers CPU cost
+accounting, not network arrival stamps).
 
 Delivery callbacks on the mirror run on the reader thread; consumers that
 need main-thread delivery should hand off through their own queue.
@@ -26,45 +39,53 @@ need main-thread delivery should hand off through their own queue.
 from __future__ import annotations
 
 import socket
-import struct
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
+from ..compression.base import CorruptStreamError
+from ..compression.framing import Frame, FrameDecoder, encode_frame
 from .channels import EventChannel, Subscription
 from .events import Event
 from .transport import ATTR_TRANSPORT_SECONDS, ATTR_WIRE_SIZE, WireFormat
 
-__all__ = ["ChannelServer", "RemoteChannel"]
+__all__ = ["ChannelServer", "FrameReader", "RemoteChannel"]
 
-_LENGTH = struct.Struct("!I")
 _MAX_FRAME = 64 * 1024 * 1024
+_RECV_CHUNK = 65536
 
 
-def _send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+def _send_frame(sock: socket.socket, payload: bytes, header: bytes = b"") -> None:
+    sock.sendall(encode_frame(header, payload))
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
-    chunks: List[bytes] = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            return None
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+class FrameReader:
+    """Incremental frame parser over a socket (the TCP-path parser).
 
+    A thin pump around the shared
+    :class:`~repro.compression.framing.FrameDecoder`: ``recv`` chunks are
+    fed in, complete frames come out.  Corrupt framing surfaces as
+    :class:`ConnectionError` so socket loops treat it like any other
+    dead-peer condition.
+    """
 
-def _recv_frame(sock: socket.socket) -> Optional[bytes]:
-    header = _recv_exact(sock, _LENGTH.size)
-    if header is None:
-        return None
-    (length,) = _LENGTH.unpack(header)
-    if length > _MAX_FRAME:
-        raise ConnectionError(f"frame of {length} bytes exceeds limit")
-    return _recv_exact(sock, length)
+    def __init__(self, sock: socket.socket, max_frame_size: int = _MAX_FRAME) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame_size=max_frame_size)
+        self._ready: Deque[Frame] = deque()
+
+    def next_frame(self) -> Optional[Frame]:
+        """Block for the next frame; ``None`` on clean EOF."""
+        while not self._ready:
+            chunk = self._sock.recv(_RECV_CHUNK)
+            if not chunk:
+                return None
+            try:
+                self._ready.extend(self._decoder.feed(chunk))
+            except CorruptStreamError as exc:
+                raise ConnectionError(f"corrupt frame from peer: {exc}") from exc
+        return self._ready.popleft()
 
 
 class ChannelServer:
@@ -109,10 +130,10 @@ class ChannelServer:
         subscription: Optional[Subscription] = None
         send_lock = threading.Lock()
         try:
-            request = _recv_frame(connection)
+            request = FrameReader(connection).next_frame()
             if request is None:
                 return
-            channel_id = request.decode()
+            channel_id = request.payload.decode()
             with self._lock:
                 channel = self._channels.get(channel_id)
             if channel is None:
@@ -122,10 +143,11 @@ class ChannelServer:
             self.connections_served += 1
 
             def forward(event: Event) -> None:
+                # WireFormat output is already one self-delimiting frame.
                 wire = WireFormat.encode(event)
                 try:
                     with send_lock:
-                        _send_frame(connection, wire)
+                        connection.sendall(wire)
                 except OSError:
                     if subscription is not None:
                         subscription.cancel()
@@ -166,12 +188,14 @@ class RemoteChannel:
     ) -> None:
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._socket.settimeout(timeout)
+        self._frames = FrameReader(self._socket)
         _send_frame(self._socket, channel_id.encode())
-        response = _recv_frame(self._socket)
-        if response != b"OK":
+        response = self._frames.next_frame()
+        if response is None or response.payload != b"OK":
             self._socket.close()
+            refusal = None if response is None else response.payload
             raise ConnectionError(
-                f"subscription to {channel_id!r} refused: {response!r}"
+                f"subscription to {channel_id!r} refused: {refusal!r}"
             )
         self.mirror = EventChannel(f"{channel_id}@tcp")
         self.events_received = 0
@@ -181,26 +205,26 @@ class RemoteChannel:
         self._reader.start()
 
     def _read_loop(self) -> None:
-        previous = time.perf_counter()
+        previous = time.monotonic()
         while not self._closed.is_set():
             try:
-                frame = _recv_frame(self._socket)
+                frame = self._frames.next_frame()
             except (OSError, ConnectionError):
                 break
             if frame is None:
                 break
-            now = time.perf_counter()
+            now = time.monotonic()
             try:
-                event = WireFormat.decode(frame).with_attributes(
+                event = WireFormat.from_frame(frame).with_attributes(
                     **{
                         ATTR_TRANSPORT_SECONDS: max(now - previous, 1e-9),
-                        ATTR_WIRE_SIZE: len(frame),
+                        ATTR_WIRE_SIZE: frame.wire_size,
                     }
                 )
             except (ValueError, KeyError):
                 break  # corrupt peer; drop the connection
             previous = now
-            self.wire_bytes += len(frame)
+            self.wire_bytes += frame.wire_size
             self.mirror.submit_stamped(event)
             # Count only after local delivery completed, so wait_for(n)
             # implies the n-th subscriber callback has already run.

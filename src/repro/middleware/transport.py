@@ -18,7 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..compression.varint import read_varint, write_varint
+from ..compression.framing import Frame, decode_frame, encode_frame
 from ..netsim.clock import Clock
 from ..netsim.link import SimulatedLink
 from ..netsim.loadtrace import LoadTrace
@@ -44,11 +44,12 @@ ATTR_TRANSPORT_RETRANSMISSIONS = "transport.retransmissions"
 class WireFormat:
     """Self-describing event encoding used on the wire.
 
-    Layout: ``varint header_len | header(JSON) | varint payload_len |
-    payload``.  The JSON header carries channel id, sequence, timestamp,
-    and the attribute map (attributes are required to be JSON-encodable —
-    they are globally *interpreted*, so opaque objects would defeat the
-    purpose).
+    One :mod:`repro.compression.framing` frame whose header is a JSON
+    document carrying channel id, sequence, timestamp, and the attribute
+    map (attributes are required to be JSON-encodable — they are globally
+    *interpreted*, so opaque objects would defeat the purpose).  The
+    event payload is the frame payload; parsing goes through the shared
+    frame parser, so any framing-aware peer can recover the event.
     """
 
     @staticmethod
@@ -62,29 +63,24 @@ class WireFormat:
             },
             separators=(",", ":"),
         ).encode()
-        out = bytearray()
-        write_varint(out, len(header))
-        out += header
-        write_varint(out, len(event.payload))
-        out += event.payload
-        return bytes(out)
+        return encode_frame(header, event.payload)
 
     @staticmethod
-    def decode(data: bytes) -> Event:
-        header_length, offset = read_varint(data, 0)
-        header = json.loads(data[offset : offset + header_length].decode())
-        offset += header_length
-        payload_length, offset = read_varint(data, offset)
-        payload = bytes(data[offset : offset + payload_length])
-        if len(payload) != payload_length:
-            raise ValueError("truncated wire payload")
+    def from_frame(frame: Frame) -> Event:
+        """Reconstruct an event from an already-parsed frame."""
+        header = json.loads(frame.header.decode())
         return Event(
-            payload=payload,
+            payload=frame.payload,
             attributes=dict(header["attributes"]),
             channel_id=header["channel"],
             sequence=header["sequence"],
             timestamp=header["timestamp"],
         )
+
+    @staticmethod
+    def decode(data: bytes) -> Event:
+        frame, _ = decode_frame(data)
+        return WireFormat.from_frame(frame)
 
 
 @dataclass

@@ -1,0 +1,194 @@
+"""Unit tests for the shared wire framing (repro.compression.framing).
+
+The module is THE frame parser for the tree: block streaming, the event
+transport's WireFormat and the TCP channel server all speak this layout,
+so these tests cover both the codec-carrying use (method-name headers
+across every registered codec) and the hostile-input bounds.
+"""
+
+import socket
+
+import pytest
+
+from repro.compression.base import CorruptStreamError
+from repro.compression.framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    MAX_METHOD_NAME,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_block_frame,
+    encode_frame,
+    parse_frame,
+)
+from repro.compression.registry import available_codecs, get_codec
+from repro.compression.streaming import StreamingCompressor
+from repro.middleware.tcp import FrameReader
+
+
+class TestFrameRoundTrip:
+    def test_empty_header_and_payload(self):
+        wire = encode_frame(b"", b"")
+        frame, offset = decode_frame(wire)
+        assert frame == Frame(header=b"", payload=b"")
+        assert offset == len(wire)
+        assert frame.wire_size == len(wire)
+
+    def test_header_and_payload_recovered(self):
+        wire = encode_frame(b'{"k": 1}', b"\x00\xffpayload")
+        frame, offset = decode_frame(wire)
+        assert frame.header == b'{"k": 1}'
+        assert frame.payload == b"\x00\xffpayload"
+        assert offset == len(wire)
+
+    def test_wire_size_matches_encoding(self):
+        for header, payload in [
+            (b"", b""),
+            (b"h", b"x" * 127),
+            (b"hh", b"x" * 128),
+            (b"hdr" * 50, b"y" * 20000),
+        ]:
+            frame, _ = decode_frame(encode_frame(header, payload))
+            assert frame.wire_size == len(encode_frame(header, payload))
+
+    def test_back_to_back_frames_with_offsets(self):
+        wire = encode_frame(b"a", b"1") + encode_frame(b"b", b"22")
+        first, offset = decode_frame(wire)
+        second, end = decode_frame(wire, offset)
+        assert (first.header, second.header) == (b"a", b"b")
+        assert (first.payload, second.payload) == (b"1", b"22")
+        assert end == len(wire)
+
+    def test_method_round_trips_for_every_registered_codec(self):
+        for name in available_codecs():
+            frame, _ = decode_frame(encode_block_frame(name, b"payload"))
+            assert frame.method == name
+
+    def test_data_round_trips_through_every_lossless_codec(self, commercial_block):
+        data = commercial_block[:8192]
+        for name in available_codecs():
+            codec = get_codec(name)
+            if codec.family == "lossy":
+                continue
+            frame, _ = decode_frame(encode_block_frame(name, codec.compress(data)))
+            assert get_codec(frame.method).decompress(frame.payload) == data
+
+    def test_unframeable_method_names_rejected(self):
+        with pytest.raises(ValueError):
+            encode_block_frame("", b"x")
+        with pytest.raises(ValueError):
+            encode_block_frame("m" * (MAX_METHOD_NAME + 1), b"x")
+        with pytest.raises(ValueError):
+            encode_block_frame("méthode", b"x")
+
+
+class TestFrameMethodHeader:
+    def test_empty_header_is_not_a_method(self):
+        with pytest.raises(CorruptStreamError):
+            Frame(header=b"", payload=b"").method
+
+    def test_oversized_header_is_not_a_method(self):
+        with pytest.raises(CorruptStreamError):
+            Frame(header=b"m" * (MAX_METHOD_NAME + 1), payload=b"").method
+
+    def test_non_ascii_header_is_not_a_method(self):
+        with pytest.raises(CorruptStreamError):
+            Frame(header=b"\xff\xfe", payload=b"").method
+
+
+class TestParseFrame:
+    def test_incomplete_prefixes_return_none(self):
+        wire = encode_frame(b"header", b"payload-bytes")
+        for cut in range(len(wire)):
+            assert parse_frame(wire[:cut]) is None
+
+    def test_decode_frame_raises_on_truncation(self):
+        wire = encode_frame(b"header", b"payload")
+        with pytest.raises(CorruptStreamError):
+            decode_frame(wire[:-1])
+
+    def test_malformed_varint_raises(self):
+        with pytest.raises(CorruptStreamError):
+            parse_frame(b"\xff" * 12)
+
+    def test_declared_header_beyond_limit_raises(self):
+        wire = encode_frame(b"h" * 100, b"")
+        with pytest.raises(CorruptStreamError):
+            parse_frame(wire, max_header_size=10)
+
+    def test_declared_payload_beyond_limit_raises(self):
+        wire = encode_frame(b"h", b"p" * 100)
+        with pytest.raises(CorruptStreamError):
+            parse_frame(wire, max_frame_size=10)
+
+    def test_hostile_length_raises_before_payload_arrives(self):
+        # Only the *declared* length is present — the decoder must refuse
+        # instead of waiting for (and buffering toward) 2**40 bytes.
+        from repro.compression.varint import write_varint
+
+        hostile = bytearray()
+        write_varint(hostile, 4)
+        hostile += b"name"
+        write_varint(hostile, 2**40)
+        with pytest.raises(CorruptStreamError):
+            parse_frame(bytes(hostile))
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_feed(self):
+        wire = encode_frame(b"hdr", b"payload one") + encode_frame(b"", b"two")
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            frames += decoder.feed(wire[i : i + 1])
+        assert [f.payload for f in frames] == [b"payload one", b"two"]
+        assert decoder.pending_bytes == 0
+        decoder.close()
+
+    def test_multiple_frames_in_one_chunk(self):
+        wire = b"".join(encode_frame(b"h", bytes([i])) for i in range(5))
+        frames = FrameDecoder().feed(wire)
+        assert [f.payload for f in frames] == [bytes([i]) for i in range(5)]
+
+    def test_close_mid_frame_raises(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"h", b"payload")[:-2])
+        assert decoder.pending_bytes > 0
+        with pytest.raises(CorruptStreamError):
+            decoder.close()
+
+    def test_default_limit_is_16_mib(self):
+        assert DEFAULT_MAX_FRAME_SIZE == 16 * 1024 * 1024
+        assert FrameDecoder().max_frame_size == DEFAULT_MAX_FRAME_SIZE
+
+    def test_oversized_declared_payload_raises_on_feed(self):
+        decoder = FrameDecoder(max_frame_size=1024)
+        with pytest.raises(CorruptStreamError):
+            decoder.feed(encode_frame(b"h", b"x" * 2048)[:20])
+
+
+class TestTransportInterop:
+    def test_streaming_output_decodes_through_tcp_frame_reader(self):
+        """A StreamingCompressor stream is parseable by the TCP-path reader."""
+        original = b"interop between streaming and tcp framing " * 3000
+        compressor = StreamingCompressor(method="lempel-ziv", block_size=32 * 1024)
+        wire = compressor.write(original) + compressor.flush()
+
+        left, right = socket.socketpair()
+        try:
+            left.sendall(wire)
+            left.shutdown(socket.SHUT_WR)
+            reader = FrameReader(right)
+            restored = bytearray()
+            frames = 0
+            while True:
+                frame = reader.next_frame()
+                if frame is None:
+                    break
+                restored += get_codec(frame.method).decompress(frame.payload)
+                frames += 1
+        finally:
+            left.close()
+            right.close()
+        assert bytes(restored) == original
+        assert frames == compressor.frames_emitted

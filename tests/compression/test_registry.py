@@ -4,7 +4,8 @@ import math
 
 import pytest
 
-from repro.compression.base import Codec, CodecError, CompressionResult, measure
+from repro.compression.base import Codec, CodecError, CompressionResult
+from repro.core.engine import measure
 from repro.compression.identity import IdentityCodec
 from repro.compression.registry import (
     PAPER_METHODS,

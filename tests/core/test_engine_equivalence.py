@@ -1,0 +1,55 @@
+"""Refactor-equivalence: the engine-backed pipeline must replay the seed.
+
+``golden_replay.json`` was captured from the pre-engine code (the seed's
+``AdaptivePipeline`` with inline ``_compress``/``_decompression_time``)
+running the deterministic Figure 8 and Figure 11 replays.  The modeled
+cost mode makes those replays bit-exact, so after routing the pipeline
+through :class:`repro.core.engine.CodecExecutor` the method sequence,
+block sizes and modeled times must match the snapshot *exactly* — any
+drift means the refactor changed behaviour, not just structure.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.replay import (
+    figure8_commercial_replay,
+    figure11_molecular_replay,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_replay.json").read_text()
+)
+
+
+def _series(result):
+    return {
+        "methods": [record.method for record in result.records],
+        "compressed_sizes": [record.compressed_size for record in result.records],
+        "original_sizes": [record.original_size for record in result.records],
+        "compression_times": [record.compression_time for record in result.records],
+    }
+
+
+@pytest.mark.parametrize(
+    "name, replay",
+    [
+        ("figure8", figure8_commercial_replay),
+        ("figure11", figure11_molecular_replay),
+    ],
+)
+def test_replay_matches_pre_refactor_golden_series(name, replay):
+    golden = GOLDEN[name]
+    got = _series(replay())
+    assert got["methods"] == golden["methods"]
+    assert got["compressed_sizes"] == golden["compressed_sizes"]
+    assert got["original_sizes"] == golden["original_sizes"]
+    assert got["compression_times"] == golden["compression_times"]
+
+
+def test_replay_is_internally_deterministic():
+    first = _series(figure8_commercial_replay())
+    second = _series(figure8_commercial_replay())
+    assert first == second

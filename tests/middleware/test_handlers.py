@@ -54,6 +54,16 @@ class TestCompressionHandler:
             > fast(event).attributes[ATTR_COMPRESSION_SECONDS]
         )
 
+    def test_expansion_guard_ships_raw_with_truthful_method(self, random_block):
+        """An expanding codec must not inflate the event; the receiver sees
+        method "none" so the wire attribute stays truthful."""
+        handler = CompressionHandler("huffman")
+        result = handler(Event(payload=random_block))
+        assert result.payload == random_block
+        assert result.attributes[ATTR_COMPRESSION_METHOD] == "none"
+        restored = DecompressionHandler()(result)
+        assert restored.payload == random_block
+
 
 class TestDecompressionHandler:
     @pytest.mark.parametrize("method", ["none", "huffman", "lempel-ziv", "burrows-wheeler"])
