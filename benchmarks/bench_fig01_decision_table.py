@@ -11,7 +11,7 @@ from repro.experiments import figure1_rows, format_table
 _METHODS = ["burrows-wheeler", "lempel-ziv", "arithmetic", "huffman"]
 
 
-def test_fig01_select_method_speed(benchmark):
+def test_fig01_select_method_speed(benchmark, record_bench):
     inputs = DecisionInputs(
         block_size=128 * 1024,
         sending_time=0.5,
@@ -25,5 +25,6 @@ def test_fig01_select_method_speed(benchmark):
     rows = [
         (label, [cells[m] for m in _METHODS]) for label, cells in figure1_rows()
     ]
+    record_bench("fig01.table_rows", len(rows), unit="rows")
     print()
     print(format_table(rows, ["characteristic"] + _METHODS))

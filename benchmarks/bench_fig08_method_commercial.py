@@ -11,13 +11,23 @@ from conftest import BENCH_REPLAY, print_series
 from repro.experiments import commercial_blocks, run_replay
 
 
-def test_fig08_method_over_time(benchmark, fig8_result):
+def test_fig08_method_over_time(benchmark, fig8_result, record_bench):
     # Benchmark one fresh (shorter) replay; report from the shared run.
     from repro.experiments import ReplayConfig
 
     small = ReplayConfig(block_count=12, production_interval=2.5)
     benchmark.pedantic(
         run_replay, args=(commercial_blocks(small), small), rounds=1, iterations=1
+    )
+
+    record_bench("fig08.blocks", len(fig8_result.records), unit="blocks")
+    record_bench(
+        "fig08.compressed_bytes", fig8_result.total_compressed_bytes,
+        unit="bytes", better="lower", tolerance=0.10,
+    )
+    record_bench(
+        "fig08.overall_ratio", fig8_result.overall_ratio,
+        unit="ratio", better="lower", tolerance=0.10,
     )
 
     series = fig8_result.method_series()

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Deterministic smoke benchmark + regression gate (the CI bench job).
+
+Runs a fixed subset of the benchmark suite whose numbers are exact
+run-to-run — the Figure 1 decision-table sweep and the Figure 8
+commercial replay in modeled-cost mode — emits a
+:mod:`repro.obs.benchfmt` report, and compares it against the committed
+``BENCH_baseline.json`` with the baseline's tolerance bands (10% on
+scalar aggregates, exact on deterministic series checksums).
+
+Usage::
+
+    python scripts/bench_smoke.py                      # run + gate
+    python scripts/bench_smoke.py --out PR.json        # also save candidate
+    python scripts/bench_smoke.py --write-baseline     # refresh the baseline
+
+Exit status 0 means no gated regression; 1 means the gate fired (the
+output lists each violated band); 2 means the baseline is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import zlib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.decision import DecisionInputs, DecisionThresholds, select_method  # noqa: E402
+from repro.experiments.config import ReplayConfig  # noqa: E402
+from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.obs.benchfmt import BenchReport, compare_reports, load_report  # noqa: E402
+from repro.obs.block import BlockTelemetry  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+#: The same scaled-down replay the figure benchmarks share (64 blocks
+#: over the 160 s trace keeps every regime transition).
+SMOKE_REPLAY = ReplayConfig(block_count=64, production_interval=2.5)
+
+#: Decision-table sweep axes: spans the "compress at all" knee, the
+#: Burrows-Wheeler slack knee, and the sampled-ratio gate.
+SENDING_TIMES = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0)
+LZ_SPEEDS = (1e5, 5e5, 1.4e6, 5e6, 2e7)
+SAMPLED_RATIOS = (None, 0.2, 0.35, 0.6, 0.9)
+
+
+def _crc(parts) -> int:
+    return zlib.crc32(",".join(str(p) for p in parts).encode())
+
+
+def fig01_decision_sweep(report: BenchReport) -> None:
+    """Exact: the selector's verdict over a fixed input grid."""
+    thresholds = DecisionThresholds()
+    decisions = []
+    for sending_time in SENDING_TIMES:
+        for lz_speed in LZ_SPEEDS:
+            for ratio in SAMPLED_RATIOS:
+                decision = select_method(
+                    DecisionInputs(
+                        block_size=128 * 1024,
+                        sending_time=sending_time,
+                        lz_reducing_speed=lz_speed,
+                        sampled_ratio=ratio,
+                    ),
+                    thresholds,
+                )
+                decisions.append(decision.method)
+    report.record(
+        "fig01.decision_grid_size", len(decisions), unit="decisions",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fig01.decisions_crc32", _crc(decisions), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    for method in ("none", "huffman", "lempel-ziv", "burrows-wheeler"):
+        report.record(
+            f"fig01.decision_count.{method}", decisions.count(method),
+            unit="decisions", better="near", tolerance=0.0,
+        )
+
+
+def fig08_replay(report: BenchReport) -> None:
+    """Deterministic modeled-cost replay, observed through BlockTelemetry."""
+    telemetry = BlockTelemetry(registry=MetricsRegistry(), channel="smoke")
+    result = run_replay(
+        commercial_blocks(SMOKE_REPLAY), SMOKE_REPLAY, observers=[telemetry]
+    )
+    methods = [r.method for r in result.records]
+    sizes = [r.compressed_size for r in result.records]
+    # Telemetry must mirror the replay exactly — observability adds zero
+    # behavioral drift, and the gate enforces it on every PR.
+    if telemetry.method_series() != methods or telemetry.compressed_size_series() != sizes:
+        raise AssertionError("BlockTelemetry series diverged from the replay records")
+
+    report.record(
+        "fig08.blocks", len(result.records), unit="blocks",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fig08.method_series_crc32", _crc(methods), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fig08.compressed_size_crc32", _crc(sizes), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fig08.compressed_bytes", result.total_compressed_bytes, unit="bytes",
+        better="lower", tolerance=0.10,
+    )
+    report.record(
+        "fig08.overall_ratio", result.overall_ratio, unit="ratio",
+        better="lower", tolerance=0.10,
+    )
+    report.record(
+        "fig08.compression_seconds_total", result.total_compression_time,
+        unit="seconds", better="lower", tolerance=0.10,
+    )
+    report.record(
+        "fig08.total_time", result.total_time, unit="seconds",
+        better="lower", tolerance=0.10,
+    )
+    counts = result.method_counts()
+    for method in ("none", "huffman", "lempel-ziv", "burrows-wheeler"):
+        report.record(
+            f"fig08.method_count.{method}", counts.get(method, 0),
+            unit="blocks", better="near", tolerance=0.10,
+        )
+
+
+def build_report() -> BenchReport:
+    report = BenchReport(
+        metadata={
+            "suite": "bench-smoke",
+            "replay": {
+                "block_count": SMOKE_REPLAY.block_count,
+                "production_interval": SMOKE_REPLAY.production_interval,
+                "link": SMOKE_REPLAY.link,
+            },
+        }
+    )
+    fig01_decision_sweep(report)
+    fig08_replay(report)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="baseline report to gate against (default: BENCH_baseline.json)",
+    )
+    parser.add_argument("--out", help="also write the candidate report to PATH")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the candidate as the new baseline instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report()
+    if args.out:
+        report.write(args.out)
+        print(f"candidate report -> {args.out}")
+    if args.write_baseline:
+        report.write(args.baseline)
+        print(f"baseline refreshed -> {args.baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found "
+              "(run with --write-baseline to create it)", file=sys.stderr)
+        return 2
+    comparison = compare_reports(load_report(baseline_path), report)
+    for line in comparison.describe():
+        print(line)
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Repository check gate: invariants + lint + tier-1 tests.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast  skip the test suite (invariant grep + lint only)
+# Usage: scripts/check.sh [--fast] [--bench-smoke]
+#   --fast         skip the test suite (invariant grep + lint only)
+#   --bench-smoke  also run the deterministic bench subset and gate it
+#                  against BENCH_baseline.json (same job CI runs)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 fast=0
+bench_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
+        --bench-smoke) bench_smoke=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -43,6 +47,20 @@ if [ -n "$stray" ]; then
 fi
 echo "ok"
 
+# --- Invariant: no print() in the library -------------------------------------
+# Diagnostics go through repro.obs (metrics/traces) or logging; stdout
+# belongs to the CLI alone.  Only cli.py and __main__.py may print.
+echo "== invariant: no print( in src/repro outside cli.py/__main__.py"
+stray=$(grep -rn "print(" src/repro --include="*.py" \
+    | grep -v "src/repro/cli.py" \
+    | grep -v "src/repro/__main__.py" || true)
+if [ -n "$stray" ]; then
+    echo "FAIL: print() in library code (route through repro.obs or logging):" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+echo "ok"
+
 # --- Lint -----------------------------------------------------------------------
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check"
@@ -54,7 +72,13 @@ fi
 # --- Tier-1 tests ---------------------------------------------------------------
 if [ "$fast" -eq 1 ]; then
     echo "== --fast: skipping test suite"
-    exit 0
+else
+    echo "== tier-1 test suite"
+    PYTHONPATH=src python -m pytest -x -q
 fi
-echo "== tier-1 test suite"
-PYTHONPATH=src python -m pytest -x -q
+
+# --- Bench smoke gate -----------------------------------------------------------
+if [ "$bench_smoke" -eq 1 ]; then
+    echo "== bench smoke (deterministic subset vs BENCH_baseline.json)"
+    python scripts/bench_smoke.py
+fi

@@ -19,7 +19,7 @@ Quick start::
     result = pipeline.run(blocks, make_link("100mbit"),
                           load=mbone_trace().scaled(4.0),
                           production_interval=1.25)
-    print(result.summary())
+    summary = result.summary()
 """
 
 from .compression import (
@@ -87,6 +87,12 @@ from .netsim import (
     make_link,
     mbone_trace,
 )
+from .obs import (
+    BenchReport,
+    BlockTelemetry,
+    MetricsRegistry,
+    TraceWriter,
+)
 
 __version__ = "1.0.0"
 
@@ -95,10 +101,12 @@ __all__ = [
     "AdaptivePolicy",
     "AdaptiveSubscriber",
     "ArithmeticCodec",
+    "BenchReport",
     "BlockEngine",
     "BlockExecution",
     "BlockRecord",
     "BlockStats",
+    "BlockTelemetry",
     "BurrowsWheelerCodec",
     "Codec",
     "CodecCostModel",
@@ -124,6 +132,7 @@ __all__ = [
     "Lz77Codec",
     "LzSampler",
     "METHOD_CODES",
+    "MetricsRegistry",
     "MolecularDataGenerator",
     "PAPER_LINKS",
     "Rating",
@@ -134,6 +143,7 @@ __all__ = [
     "SamplingPublisher",
     "SimulatedLink",
     "StreamResult",
+    "TraceWriter",
     "TransportBridge",
     "ULTRA_SPARC",
     "VirtualClock",

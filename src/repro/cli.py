@@ -104,7 +104,7 @@ def cmd_methods(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_replay(args: argparse.Namespace) -> int:
+def _replay_result(args: argparse.Namespace, observers=None):
     from .experiments.config import ReplayConfig
     from .experiments.replay import commercial_blocks, molecular_blocks, run_replay
 
@@ -120,7 +120,42 @@ def cmd_replay(args: argparse.Namespace) -> int:
         if args.dataset == "commercial"
         else molecular_blocks(config)
     )
-    result = run_replay(blocks, config)
+    return run_replay(blocks, config, observers=observers)
+
+
+def _write_replay_trace(path: str, args: argparse.Namespace, result) -> None:
+    """Dump one JSON-lines trace record per block (virtual timestamps)."""
+    from .obs.trace import TraceWriter
+
+    with open(path, "w", encoding="utf-8") as sink, TraceWriter(sink) as writer:
+        for r in result.records:
+            writer.event(
+                "block",
+                ts=r.start_time,
+                index=r.index,
+                method=r.method,
+                original_size=r.original_size,
+                compressed_size=r.compressed_size,
+                compression_seconds=r.compression_time,
+                send_seconds=r.send_time,
+                decompression_seconds=r.decompression_time,
+                connections=r.connections,
+            )
+        writer.span(
+            "replay",
+            duration=result.total_time,
+            ts=0.0,
+            dataset=args.dataset,
+            link=args.link,
+            blocks=len(result.records),
+        )
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    result = _replay_result(args)
+    if args.trace:
+        _write_replay_trace(args.trace, args, result)
+        print(f"trace -> {args.trace}")
     print(f"dataset={args.dataset} link={args.link} blocks={args.blocks}")
     for key, value in result.summary().items():
         print(f"  {key:26s} {value:12.3f}")
@@ -179,6 +214,20 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a replay with telemetry attached and dump the registry as JSON."""
+    from .obs.block import BlockTelemetry
+    from .obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    telemetry = BlockTelemetry(registry=registry, channel=args.dataset)
+    result = _replay_result(args, observers=[telemetry])
+    if args.trace:
+        _write_replay_trace(args.trace, args, result)
+    print(registry.to_json(indent=2))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments.config import HEADLINE_CONFIG, ReplayConfig
     from .experiments.report import generate_report
@@ -187,6 +236,21 @@ def cmd_report(args: argparse.Namespace) -> int:
     replay = ReplayConfig(block_count=args.blocks)
     headline = dc_replace(HEADLINE_CONFIG, block_count=max(16, args.blocks))
     document = generate_report(replay_config=replay, headline_config=headline)
+    if args.trace:
+        from .experiments.endtoend import headline_comparison
+        from .obs.trace import TraceWriter
+
+        with open(args.trace, "w", encoding="utf-8") as sink, TraceWriter(sink) as writer:
+            for row in headline_comparison(config=headline):
+                writer.span(
+                    "headline",
+                    duration=row.total_seconds,
+                    dataset=row.dataset,
+                    policy=row.policy,
+                    compression_fraction=row.compression_fraction,
+                    overall_ratio=row.overall_ratio,
+                )
+        print(f"trace -> {args.trace}")
     if args.output:
         Path(args.output).write_text(document)
         print(f"wrote {args.output} ({len(document)} bytes)")
@@ -225,15 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("methods", help="list registered codecs")
     p.set_defaults(func=cmd_methods)
 
+    def add_replay_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=["commercial", "molecular"], default="commercial")
+        p.add_argument("--link", choices=["1gbit", "100mbit", "1mbit", "international"], default="100mbit")
+        p.add_argument("--blocks", type=int, default=64)
+        p.add_argument("--interval", type=float, default=1.25, help="seconds between blocks (0 = bulk)")
+        p.add_argument("--trace-offset", type=float, default=0.0)
+        p.add_argument("--pipelined", action="store_true")
+        p.add_argument("--trace", metavar="PATH", help="write a JSON-lines block trace to PATH")
+
     p = sub.add_parser("replay", help="run a simulated adaptive stream")
-    p.add_argument("--dataset", choices=["commercial", "molecular"], default="commercial")
-    p.add_argument("--link", choices=["1gbit", "100mbit", "1mbit", "international"], default="100mbit")
-    p.add_argument("--blocks", type=int, default=64)
-    p.add_argument("--interval", type=float, default=1.25, help="seconds between blocks (0 = bulk)")
-    p.add_argument("--trace-offset", type=float, default=0.0)
-    p.add_argument("--pipelined", action="store_true")
+    add_replay_options(p)
     p.add_argument("--series", action="store_true", help="print method transitions")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("stats", help="run a replay with telemetry and dump the metrics registry as JSON")
+    add_replay_options(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("figure", help="print a paper figure (1-7)")
     p.add_argument("number", type=int)
@@ -242,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="regenerate the full reproduction report")
     p.add_argument("-o", "--output", help="write markdown to a file instead of stdout")
     p.add_argument("--blocks", type=int, default=64, help="replay length (blocks)")
+    p.add_argument("--trace", metavar="PATH", help="write a JSON-lines headline trace to PATH")
     p.set_defaults(func=cmd_report)
 
     return parser

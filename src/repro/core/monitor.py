@@ -8,16 +8,30 @@ blocks of data are compressed."
 :class:`ReducingSpeedMonitor` keeps a smoothed per-codec estimate of that
 metric, seeded at infinity for the first block exactly as the pseudocode
 prescribes ("Assume the reducing size speed of first block is infinity").
+
+The monitor is a thin view over a
+:class:`~repro.obs.metrics.MetricsRegistry`: the EWMA state lives in
+labeled gauges (``repro_reducing_speed_bytes_per_second{codec=...}``,
+``repro_codec_ratio{codec=...}``), so ``repro stats`` and any other obs
+consumer read the same numbers the selector acts on.  Pass a shared
+registry to co-locate them with the rest of a process's telemetry; by
+default each monitor owns a private one.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Optional, Set
 
 from ..compression.base import CompressionResult
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ReducingSpeedMonitor"]
+
+#: Gauge names under which the monitor stores its estimates.
+SPEED_GAUGE = "repro_reducing_speed_bytes_per_second"
+RATIO_GAUGE = "repro_codec_ratio"
+OBSERVATIONS_COUNTER = "repro_codec_observations_total"
 
 
 class ReducingSpeedMonitor:
@@ -29,12 +43,35 @@ class ReducingSpeedMonitor:
     optimistic initial assumption.
     """
 
-    def __init__(self, alpha: float = 0.5) -> None:
+    def __init__(
+        self, alpha: float = 0.5, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha
-        self._speeds: Dict[str, float] = {}
-        self._ratios: Dict[str, float] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._speeds = self.registry.gauge(
+            SPEED_GAUGE, help="EWMA reducing speed (bytes removed / second)"
+        )
+        self._ratios = self.registry.gauge(
+            RATIO_GAUGE, help="EWMA compression ratio (compressed / original)"
+        )
+        self._observations = self.registry.counter(
+            OBSERVATIONS_COUNTER, help="speed observations folded into the EWMA"
+        )
+        # Track which codec labels this monitor wrote, so reset() on a
+        # shared registry only clears its own series.
+        self._codecs: Set[str] = set()
+
+    def _fold_speed(self, codec_name: str, speed: float) -> None:
+        previous = self._speeds.value(codec=codec_name)
+        if previous is None or math.isinf(previous):
+            updated = speed
+        else:
+            updated = previous + self.alpha * (speed - previous)
+        self._speeds.set(updated, codec=codec_name)
+        self._observations.inc(codec=codec_name)
+        self._codecs.add(codec_name)
 
     def observe(self, result: CompressionResult) -> None:
         """Fold one timed compression into the per-codec estimates."""
@@ -42,51 +79,42 @@ class ReducingSpeedMonitor:
         if math.isinf(speed):
             # A zero-duration measurement carries no information.
             return
-        previous = self._speeds.get(result.codec_name)
-        if previous is None or math.isinf(previous):
-            self._speeds[result.codec_name] = speed
-        else:
-            self._speeds[result.codec_name] = previous + self.alpha * (speed - previous)
-        previous_ratio = self._ratios.get(result.codec_name)
+        self._fold_speed(result.codec_name, speed)
+        previous_ratio = self._ratios.value(codec=result.codec_name)
         if previous_ratio is None:
-            self._ratios[result.codec_name] = result.ratio
+            self._ratios.set(result.ratio, codec=result.codec_name)
         else:
-            self._ratios[result.codec_name] = previous_ratio + self.alpha * (
-                result.ratio - previous_ratio
+            self._ratios.set(
+                previous_ratio + self.alpha * (result.ratio - previous_ratio),
+                codec=result.codec_name,
             )
 
     def observe_raw(self, codec_name: str, bytes_saved: int, seconds: float) -> None:
         """Fold a raw speed observation (does not touch the ratio estimate)."""
         if seconds <= 0 or bytes_saved < 0:
             return
-        speed = bytes_saved / seconds
-        previous = self._speeds.get(codec_name)
-        if previous is None or math.isinf(previous):
-            self._speeds[codec_name] = speed
-        else:
-            self._speeds[codec_name] = previous + self.alpha * (speed - previous)
+        self._fold_speed(codec_name, bytes_saved / seconds)
 
     def observe_speed(self, codec_name: str, speed: float) -> None:
         """Fold an already-computed reducing-speed sample (bytes/second)."""
         if speed < 0 or math.isinf(speed) or math.isnan(speed):
             return
-        previous = self._speeds.get(codec_name)
-        if previous is None or math.isinf(previous):
-            self._speeds[codec_name] = speed
-        else:
-            self._speeds[codec_name] = previous + self.alpha * (speed - previous)
+        self._fold_speed(codec_name, speed)
 
     def reducing_speed(self, codec_name: str) -> float:
         """Current estimate; ``inf`` until first observation (pseudocode line 1)."""
-        return self._speeds.get(codec_name, math.inf)
+        value = self._speeds.value(codec=codec_name)
+        return value if value is not None else math.inf
 
     def ratio(self, codec_name: str) -> Optional[float]:
         """Smoothed compression ratio, or None if never observed."""
-        return self._ratios.get(codec_name)
+        return self._ratios.value(codec=codec_name)
 
     def observed(self, codec_name: str) -> bool:
-        return codec_name in self._speeds
+        return self._speeds.has(codec=codec_name)
 
     def reset(self) -> None:
-        self._speeds.clear()
-        self._ratios.clear()
+        for codec_name in self._codecs:
+            self._speeds.remove(codec=codec_name)
+            self._ratios.remove(codec=codec_name)
+        self._codecs.clear()

@@ -16,8 +16,9 @@ the figures:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from ..core.engine import Observer
 from ..core.pipeline import AdaptivePipeline, StreamResult
 from ..core.policy import CompressionPolicy
 from ..data.commercial import CommercialDataGenerator
@@ -65,8 +66,14 @@ def run_replay(
     config: ReplayConfig,
     policy: Optional[CompressionPolicy] = None,
     cpu: Optional[CpuModel] = None,
+    observers: Optional[Iterable[Observer]] = None,
 ) -> StreamResult:
-    """Run one deterministic replay of ``blocks`` under ``config``."""
+    """Run one deterministic replay of ``blocks`` under ``config``.
+
+    ``observers`` (e.g. a :class:`~repro.obs.block.BlockTelemetry`) are
+    attached to the pipeline's block engine; observation is read-only, so
+    the replay stays bit-identical with or without them.
+    """
     link = SimulatedLink(
         PAPER_LINKS[config.link],
         seed=config.link_seed,
@@ -77,6 +84,7 @@ def run_replay(
         block_size=config.block_size,
         cost_model=DEFAULT_COSTS,
         cpu=cpu if cpu is not None else SUN_FIRE,
+        observers=observers,
     )
     return pipeline.run(
         blocks,
@@ -92,11 +100,17 @@ def figure7_trace_series(step: float = 1.0, seed: int = FIG8_CONFIG.trace_seed) 
     return list(mbone_trace(duration=TRACE_DURATION, seed=seed).sample(step))
 
 
-def figure8_commercial_replay(config: ReplayConfig = FIG8_CONFIG) -> StreamResult:
+def figure8_commercial_replay(
+    config: ReplayConfig = FIG8_CONFIG,
+    observers: Optional[Iterable[Observer]] = None,
+) -> StreamResult:
     """The commercial-data replay behind Figures 8, 9 and 10."""
-    return run_replay(commercial_blocks(config), config)
+    return run_replay(commercial_blocks(config), config, observers=observers)
 
 
-def figure11_molecular_replay(config: ReplayConfig = FIG11_CONFIG) -> StreamResult:
+def figure11_molecular_replay(
+    config: ReplayConfig = FIG11_CONFIG,
+    observers: Optional[Iterable[Observer]] = None,
+) -> StreamResult:
     """The molecular-data replay behind Figures 11 and 12."""
-    return run_replay(molecular_blocks(config), config)
+    return run_replay(molecular_blocks(config), config, observers=observers)

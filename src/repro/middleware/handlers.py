@@ -25,6 +25,8 @@ from typing import Callable, List, Optional
 from ..compression.registry import get_codec
 from ..core.engine import CodecExecutor
 from ..netsim.cpu import CodecCostModel, CpuModel
+from ..obs.block import record_execution
+from ..obs.metrics import MetricsRegistry
 from .attributes import (
     ATTR_COMPRESSION_METHOD,
     ATTR_COMPRESSION_SECONDS,
@@ -66,11 +68,15 @@ class CompressionHandler:
         cost_model: Optional[CodecCostModel] = None,
         cpu: Optional[CpuModel] = None,
         executor: Optional[CodecExecutor] = None,
+        registry: Optional[MetricsRegistry] = None,
+        channel: str = "handler",
     ) -> None:
         self.method = method
         self.codec = get_codec(method)
         self.cost_model = cost_model
         self.cpu = cpu
+        self.registry = registry
+        self.channel = channel
         self.executor = (
             executor
             if executor is not None
@@ -79,6 +85,17 @@ class CompressionHandler:
 
     def __call__(self, event: Event) -> Event:
         execution = self.executor.compress(self.method, event.payload)
+        if self.registry is not None:
+            record_execution(
+                self.registry,
+                channel=self.channel,
+                method=execution.method,
+                requested_method=execution.requested_method,
+                original_size=execution.original_size,
+                compressed_size=execution.compressed_size,
+                compression_seconds=execution.seconds,
+                fell_back=execution.fell_back,
+            )
         attributes = {
             ATTR_COMPRESSION_METHOD: execution.method,
             ATTR_ORIGINAL_SIZE: event.size,
@@ -131,12 +148,16 @@ class TunableCompressionHandler:
         factory: Callable[..., "object"],
         cost_model: Optional[CodecCostModel] = None,
         cpu: Optional[CpuModel] = None,
+        registry: Optional[MetricsRegistry] = None,
+        channel: str = "tunable",
         **initial_parameters: object,
     ) -> None:
         self.method = method
         self.factory = factory
         self.cost_model = cost_model
         self.cpu = cpu
+        self.registry = registry
+        self.channel = channel
         self.executor = CodecExecutor(
             cost_model=cost_model, cpu=cpu, cost_model_fallback=True
         )
@@ -149,6 +170,11 @@ class TunableCompressionHandler:
         self.parameters.update(parameters)
         self.codec = self.factory(**self.parameters)
         self.reconfigurations += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_handler_reconfigurations_total",
+                help="runtime codec parameter changes",
+            ).inc(channel=self.channel, method=self.method)
 
     def bind(self, attributes: "object", attribute_name: str) -> Callable[[], None]:
         """Follow a quality attribute: its value (a dict) reconfigures us.
@@ -164,6 +190,17 @@ class TunableCompressionHandler:
 
     def __call__(self, event: Event) -> Event:
         execution = self.executor.compress(self.method, event.payload, codec=self.codec)
+        if self.registry is not None:
+            record_execution(
+                self.registry,
+                channel=self.channel,
+                method=execution.method,
+                requested_method=execution.requested_method,
+                original_size=execution.original_size,
+                compressed_size=execution.compressed_size,
+                compression_seconds=execution.seconds,
+                fell_back=execution.fell_back,
+            )
         return event.with_payload(
             execution.payload,
             **{

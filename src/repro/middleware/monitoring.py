@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 from ..netsim.clock import Clock, VirtualClock
+from ..obs.metrics import MetricsRegistry
 from .attributes import (
     ATTR_COMPRESSION_METHOD,
     ATTR_ORIGINAL_SIZE,
@@ -32,6 +33,12 @@ __all__ = ["ChannelQuality", "ChannelMonitor"]
 #: Attribute name prefix under which monitors publish, completed with the
 #: channel id: ``quality.<channel_id>``.
 QUALITY_ATTR_PREFIX = "quality"
+
+#: Obs metric names for channel quality (labeled ``channel=<id>``).
+EVENTS_COUNTER = "repro_channel_events_total"
+ORIGINAL_BYTES_COUNTER = "repro_channel_original_bytes_total"
+WIRE_BYTES_COUNTER = "repro_channel_wire_bytes_total"
+QUALITY_GAUGE_PREFIX = "repro_channel_quality"
 
 
 @dataclass(frozen=True)
@@ -59,7 +66,14 @@ class ChannelQuality:
 
 
 class ChannelMonitor:
-    """Sliding-window quality aggregation for one channel."""
+    """Sliding-window quality aggregation for one channel.
+
+    When given a :class:`~repro.obs.metrics.MetricsRegistry` the monitor
+    doubles as an obs producer: per-event counters (events, original and
+    wire bytes) accumulate as they arrive, and every :meth:`publish`
+    refreshes ``repro_channel_quality_*`` gauges — all labeled with the
+    channel id, so many monitors can share one registry.
+    """
 
     def __init__(
         self,
@@ -68,6 +82,7 @@ class ChannelMonitor:
         attributes: Optional[QualityAttributes] = None,
         window: int = 32,
         publish_every: int = 1,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if window < 1:
             raise ValueError("window must be positive")
@@ -76,6 +91,7 @@ class ChannelMonitor:
         self.channel = channel
         self.clock = clock if clock is not None else VirtualClock()
         self.attributes = attributes
+        self.registry = registry
         self.window = window
         self.publish_every = publish_every
         self.total_events = 0
@@ -93,6 +109,18 @@ class ChannelMonitor:
         wire = int(event.attributes.get(ATTR_WIRE_SIZE, event.size))
         transport = float(event.attributes.get(ATTR_TRANSPORT_SECONDS, 0.0))
         self._samples.append((self.clock.now(), original, wire, transport))
+        if self.registry is not None:
+            labels = {"channel": self.channel.channel_id}
+            method = str(event.attributes.get(ATTR_COMPRESSION_METHOD, "none"))
+            self.registry.counter(EVENTS_COUNTER, help="events observed").inc(
+                channel=self.channel.channel_id, method=method
+            )
+            self.registry.counter(
+                ORIGINAL_BYTES_COUNTER, help="application bytes observed"
+            ).inc(original, **labels)
+            self.registry.counter(WIRE_BYTES_COUNTER, help="wire bytes observed").inc(
+                wire, **labels
+            )
         if self.attributes is not None and self.total_events % self.publish_every == 0:
             self.publish()
 
@@ -124,10 +152,27 @@ class ChannelMonitor:
         )
 
     def publish(self) -> ChannelQuality:
-        """Publish the current snapshot into the attribute namespace."""
+        """Publish the current snapshot into the attribute namespace.
+
+        With a registry attached, the snapshot also lands in the
+        ``repro_channel_quality_*`` gauges.
+        """
         quality = self.snapshot()
         if self.attributes is not None:
             self.attributes.set(
                 f"{QUALITY_ATTR_PREFIX}.{self.channel.channel_id}", quality.as_dict()
             )
+        if self.registry is not None:
+            labels = {"channel": self.channel.channel_id}
+            for field_name in (
+                "event_rate",
+                "goodput",
+                "wire_throughput",
+                "mean_transport_seconds",
+                "compression_ratio",
+            ):
+                self.registry.gauge(
+                    f"{QUALITY_GAUGE_PREFIX}_{field_name}",
+                    help=f"windowed {field_name.replace('_', ' ')}",
+                ).set(getattr(quality, field_name), **labels)
         return quality

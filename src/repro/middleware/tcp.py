@@ -46,6 +46,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compression.base import CorruptStreamError
 from ..compression.framing import Frame, FrameDecoder, encode_frame
+from ..obs.metrics import MetricsRegistry
+from .attributes import ATTR_COMPRESSION_METHOD
 from .channels import EventChannel, Subscription
 from .events import Event
 from .transport import ATTR_TRANSPORT_SECONDS, ATTR_WIRE_SIZE, WireFormat
@@ -89,9 +91,22 @@ class FrameReader:
 
 
 class ChannelServer:
-    """Serves a set of channels to remote subscribers over TCP."""
+    """Serves a set of channels to remote subscribers over TCP.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    forwarded event lands in channel-labeled counters
+    (``repro_tcp_frames_forwarded_total``, ``repro_tcp_wire_bytes_total``)
+    alongside a subscription counter — the server-side half of the
+    §3 "transport performance information" the IQ layer propagates.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry
         self._channels: Dict[str, EventChannel] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -139,9 +154,6 @@ class ChannelServer:
             if channel is None:
                 _send_frame(connection, b"ERR unknown channel")
                 return
-            _send_frame(connection, b"OK")
-            self.connections_served += 1
-
             def forward(event: Event) -> None:
                 # WireFormat output is already one self-delimiting frame.
                 wire = WireFormat.encode(event)
@@ -151,8 +163,26 @@ class ChannelServer:
                 except OSError:
                     if subscription is not None:
                         subscription.cancel()
+                    return
+                if self.registry is not None:
+                    self.registry.counter(
+                        "repro_tcp_frames_forwarded_total",
+                        help="event frames forwarded to remote subscribers",
+                    ).inc(channel=channel_id)
+                    self.registry.counter(
+                        "repro_tcp_wire_bytes_total",
+                        help="frame bytes sent to remote subscribers",
+                    ).inc(len(wire), channel=channel_id)
 
+            # Subscribe BEFORE acking: the moment the client sees OK it may
+            # submit events, and an ack-then-subscribe window would drop them.
             subscription = channel.subscribe(forward)
+            _send_frame(connection, b"OK")
+            self.connections_served += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_tcp_subscriptions_total", help="accepted remote subscriptions"
+                ).inc(channel=channel_id)
             # Block until the client goes away (any inbound data/EOF ends it).
             while self._running:
                 if connection.recv(1) == b"":
@@ -185,7 +215,10 @@ class RemoteChannel:
         port: int,
         channel_id: str,
         timeout: float = 5.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry
+        self._channel_id = channel_id
         self._socket = socket.create_connection((host, port), timeout=timeout)
         self._socket.settimeout(timeout)
         self._frames = FrameReader(self._socket)
@@ -225,6 +258,16 @@ class RemoteChannel:
                 break  # corrupt peer; drop the connection
             previous = now
             self.wire_bytes += frame.wire_size
+            if self.registry is not None:
+                method = str(event.attributes.get(ATTR_COMPRESSION_METHOD, "none"))
+                self.registry.counter(
+                    "repro_tcp_frames_received_total",
+                    help="event frames received from the server",
+                ).inc(channel=self._channel_id, method=method)
+                self.registry.counter(
+                    "repro_tcp_wire_bytes_received_total",
+                    help="frame bytes received from the server",
+                ).inc(frame.wire_size, channel=self._channel_id)
             self.mirror.submit_stamped(event)
             # Count only after local delivery completed, so wait_for(n)
             # implies the n-th subscriber callback has already run.

@@ -1,0 +1,216 @@
+"""The machine-readable bench-result schema and regression comparator.
+
+Every benchmark in ``benchmarks/`` emits its results through this one
+schema, and the CI bench-smoke gate diffs a PR's report against the
+committed ``BENCH_baseline.json`` with explicit per-metric tolerance
+bands.  Following Farruggia et al.'s bicriteria framing, a metric says
+*which direction is better* and *how much slack is tolerated*, so the
+gate's verdicts are reproducible rather than vibes:
+
+* ``better="lower"`` — one-sided gate: candidate may not exceed
+  ``baseline * (1 + tolerance)`` (bytes, seconds).
+* ``better="higher"`` — one-sided gate the other way (throughput).
+* ``better="near"`` — two-sided band: relative deviation beyond
+  ``tolerance`` in either direction fails; ``tolerance=0.0`` demands
+  exact equality (deterministic series checksums, method counts).
+
+``kind`` separates ``"deterministic"`` metrics (modeled times, byte
+counts, decision checksums — exact run-to-run, safe to gate hard) from
+``"timing"`` metrics (wall-clock, machine-dependent — reported but not
+gated by default, so shared CI runners can't flake the gate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "SCHEMA",
+    "BenchMetric",
+    "BenchReport",
+    "Regression",
+    "Comparison",
+    "compare_reports",
+    "load_report",
+]
+
+SCHEMA = "repro-bench/1"
+
+#: Default relative tolerance band (the ISSUE's ">10% regression" gate).
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One measured quantity with its comparison contract."""
+
+    name: str
+    value: float
+    unit: str = ""
+    kind: str = "deterministic"  # "deterministic" | "timing"
+    better: str = "lower"        # "lower" | "higher" | "near"
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("deterministic", "timing"):
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+        if self.better not in ("lower", "higher", "near"):
+            raise ValueError(f"unknown direction {self.better!r}")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+
+@dataclass
+class BenchReport:
+    """A named collection of metrics plus free-form metadata."""
+
+    metadata: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, BenchMetric] = field(default_factory=dict)
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        unit: str = "",
+        kind: str = "deterministic",
+        better: str = "lower",
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> BenchMetric:
+        metric = BenchMetric(
+            name=name, value=float(value), unit=unit, kind=kind,
+            better=better, tolerance=tolerance,
+        )
+        self.metrics[name] = metric
+        return metric
+
+    def add(self, metric: BenchMetric) -> None:
+        self.metrics[metric.name] = metric
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "metadata": self.metadata,
+            "metrics": [asdict(self.metrics[name]) for name in sorted(self.metrics)],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def write(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(f"unsupported bench schema {schema!r} (want {SCHEMA!r})")
+        report = cls(metadata=dict(data.get("metadata", {})))
+        for entry in data.get("metrics", []):
+            report.add(BenchMetric(**entry))
+        return report
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    return BenchReport.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gate violation (or informational drift)."""
+
+    name: str
+    baseline: float
+    candidate: float
+    limit: str
+    gating: bool
+
+    def describe(self) -> str:
+        marker = "FAIL" if self.gating else "info"
+        return (
+            f"[{marker}] {self.name}: baseline={self.baseline:g} "
+            f"candidate={self.candidate:g} ({self.limit})"
+        )
+
+
+@dataclass
+class Comparison:
+    """The outcome of diffing a candidate report against a baseline."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not any(r.gating for r in self.regressions)
+
+    def describe(self) -> List[str]:
+        lines = [f"compared {self.compared} metrics"]
+        for name in self.missing:
+            lines.append(f"[FAIL] {name}: present in baseline, missing from candidate")
+        for regression in self.regressions:
+            lines.append(regression.describe())
+        if self.ok:
+            lines.append("ok: no gated regressions")
+        return lines
+
+
+def _violates(metric: BenchMetric, baseline: float, candidate: float) -> Optional[str]:
+    """Return a human-readable limit description when out of band."""
+    tolerance = metric.tolerance
+    scale = max(abs(baseline), 1e-12)
+    if metric.better == "lower":
+        limit = baseline + tolerance * scale
+        if candidate > limit:
+            return f"limit {limit:g} = baseline +{tolerance:.0%}"
+    elif metric.better == "higher":
+        limit = baseline - tolerance * scale
+        if candidate < limit:
+            return f"limit {limit:g} = baseline -{tolerance:.0%}"
+    else:  # near
+        if abs(candidate - baseline) > tolerance * scale:
+            if tolerance == 0.0:
+                return "exact match required"
+            return f"band ±{tolerance:.0%} of baseline"
+    return None
+
+
+def compare_reports(
+    baseline: BenchReport,
+    candidate: BenchReport,
+    gate_kinds: Iterable[str] = ("deterministic",),
+) -> Comparison:
+    """Diff ``candidate`` against ``baseline`` metric by metric.
+
+    Every metric present in the baseline must exist in the candidate.
+    The *baseline's* contract (direction/tolerance/kind) governs the
+    comparison, so a PR cannot loosen the gate by editing its own
+    emitted tolerances.  Violations on kinds outside ``gate_kinds`` are
+    reported as informational, not failures.
+    """
+    gate: Tuple[str, ...] = tuple(gate_kinds)
+    comparison = Comparison()
+    for name in sorted(baseline.metrics):
+        metric = baseline.metrics[name]
+        other = candidate.metrics.get(name)
+        if other is None:
+            comparison.missing.append(name)
+            continue
+        comparison.compared += 1
+        limit = _violates(metric, metric.value, other.value)
+        if limit is not None:
+            comparison.regressions.append(
+                Regression(
+                    name=name,
+                    baseline=metric.value,
+                    candidate=other.value,
+                    limit=limit,
+                    gating=metric.kind in gate,
+                )
+            )
+    return comparison

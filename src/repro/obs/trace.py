@@ -1,0 +1,120 @@
+"""JSON-lines span/event traces (the obs wire record).
+
+A :class:`TraceWriter` turns observations into one JSON object per line
+— the same shape whether the sink is a file, an in-memory buffer, or a
+socket wrapper.  Records carry no wall-clock reads of their own: the
+writer is either given an explicit ``ts`` per record (virtual replay
+time, engine-accounted seconds) or constructed with an injected clock
+callable (e.g. a :class:`~repro.netsim.clock.VirtualClock`'s ``now``).
+With neither, records carry only a monotonically increasing ``seq`` —
+deterministic by construction, which is what lets ``--trace`` runs diff
+cleanly in CI.
+
+Record shapes::
+
+    {"seq": 0, "type": "event", "name": "block", ...fields}
+    {"seq": 1, "type": "span",  "name": "replay", "duration": 1.25, ...fields}
+
+:func:`read_trace` parses the format back into dicts (the round-trip the
+tests and the bench gate rely on).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["TraceWriter", "read_trace"]
+
+
+class TraceWriter:
+    """Append span/event records to a text sink as JSON lines."""
+
+    def __init__(
+        self,
+        sink: Union[io.TextIOBase, "io.TextIO", None] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._sink = sink if sink is not None else io.StringIO()
+        self._owns_sink = sink is None
+        self._clock = clock
+        self._seq = 0
+        self.records_written = 0
+
+    # -- emission ----------------------------------------------------------------
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        self._sink.write(line + "\n")
+        self.records_written += 1
+
+    def _stamp(self, record: Dict[str, object], ts: Optional[float]) -> Dict[str, object]:
+        record["seq"] = self._seq
+        self._seq += 1
+        if ts is not None:
+            record["ts"] = ts
+        elif self._clock is not None:
+            record["ts"] = self._clock()
+        return record
+
+    def event(self, name: str, ts: Optional[float] = None, **fields: object) -> None:
+        """Record a point event."""
+        record: Dict[str, object] = {"type": "event", "name": name}
+        record.update(fields)
+        self._emit(self._stamp(record, ts))
+
+    def span(
+        self,
+        name: str,
+        duration: float,
+        ts: Optional[float] = None,
+        **fields: object,
+    ) -> None:
+        """Record a completed span of ``duration`` seconds.
+
+        The duration is supplied by the caller (engine-accounted or
+        virtual-clock time) — the writer never times anything itself.
+        """
+        record: Dict[str, object] = {"type": "span", "name": name, "duration": duration}
+        record.update(fields)
+        self._emit(self._stamp(record, ts))
+
+    # -- sink access -------------------------------------------------------------
+
+    def getvalue(self) -> str:
+        """The buffered text (only for writer-owned in-memory sinks)."""
+        if not isinstance(self._sink, io.StringIO):
+            raise TypeError("getvalue() requires the writer-owned StringIO sink")
+        return self._sink.getvalue()
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+    def close(self) -> None:
+        if not self._owns_sink:
+            self._sink.flush()
+        self._sink.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(source: Union[str, Path, io.TextIOBase]) -> Iterator[Dict[str, object]]:
+    """Parse a JSON-lines trace back into record dicts."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as handle:
+            yield from _parse_lines(handle.read().splitlines())
+        return
+    yield from _parse_lines(source.read().splitlines())
+
+
+def _parse_lines(lines: List[str]) -> Iterator[Dict[str, object]]:
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield json.loads(line)

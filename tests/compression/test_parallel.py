@@ -166,3 +166,74 @@ class TestParallelHuffmanDecode:
         code, data = _encode(symbols)
         decoded = parallel_huffman_decode(code, data, len(symbols), segments=4)
         assert decoded == symbols
+
+
+class TestParallelHuffmanEdgeCases:
+    """Degenerate streams: empty input, single-segment, and speculation
+    that never synchronizes (forcing the sequential re-decode path)."""
+
+    def test_empty_input_zero_symbols(self):
+        code, _ = _encode([0, 1], 2)
+        assert parallel_huffman_decode(code, b"", 0) == []
+        assert parallel_huffman_decode(code, b"", 0, segments=8) == []
+
+    def test_empty_input_with_symbols_expected_raises(self):
+        code, _ = _encode([0, 1], 2)
+        with pytest.raises(CorruptStreamError):
+            parallel_huffman_decode(code, b"", 1, segments=4)
+
+    def test_stream_shorter_than_one_segment(self):
+        # 3 one-bit symbols fit in a single byte, so even segments=4
+        # collapses to a single speculative segment.
+        symbols = [0, 1, 0]
+        code, data = _encode(symbols, 2)
+        assert len(data) == 1
+        assert parallel_huffman_decode(code, data, len(symbols), segments=4) == symbols
+
+    def _fixed_length_code(self):
+        """A 32-symbol uniform alphabet yields 5-bit fixed-length codes.
+
+        Fixed-length codes never self-synchronize: a speculative decode
+        entering at a byte boundary that is not a multiple of the code
+        length stays mis-aligned forever, so stitching must fall back to
+        the sequential re-decode path for the whole segment.
+        """
+        symbols = list(range(32)) * 126  # uniform frequencies -> balanced tree
+        code = HuffmanCode.from_symbols(symbols, 32)
+        for symbol in range(32):
+            assert len(code.encode_bitstring([symbol])) == 5
+        return code
+
+    def test_never_synchronizing_speculation_is_discarded(self):
+        code = self._fixed_length_code()
+        symbols = [(i * 7) % 32 for i in range(4001)]
+        bits = code.encode_bitstring(symbols)
+        padding = (-len(bits)) % 8
+        data = int(bits + "0" * padding, 2).to_bytes((len(bits) + padding) // 8, "big")
+
+        # A segment starting at bit 5008 (byte 626, != 0 mod 5) speculates
+        # boundaries all congruent to 3 mod 5 — never a true boundary.
+        boundaries, _, _ = huffman_segment_table(code, data, 5008, 5008 + 400)
+        assert boundaries
+        assert all(bit % 5 == 3 for bit in boundaries)
+
+        # 4001 symbols * 5 bits pad to 2501 bytes, making every interior
+        # segment start land off the 5-bit grid; the decode must still be
+        # exact via sequential re-decode of the unsynchronized segments.
+        total_bits = len(data) * 8
+        span = ((total_bits // 4) + 7) & ~7
+        starts = [index * span for index in range(1, 4) if index * span < total_bits]
+        assert starts, "expected interior segment starts"
+        assert all(start % 5 != 0 for start in starts)
+        decoded = parallel_huffman_decode(code, data, len(symbols), segments=4)
+        assert decoded == symbols
+
+    @pytest.mark.parametrize("segments", [2, 3, 8])
+    def test_never_synchronizing_various_segment_counts(self, segments):
+        code = self._fixed_length_code()
+        symbols = [(i * 11) % 32 for i in range(1603)]
+        bits = code.encode_bitstring(symbols)
+        padding = (-len(bits)) % 8
+        data = int(bits + "0" * padding, 2).to_bytes((len(bits) + padding) // 8, "big")
+        decoded = parallel_huffman_decode(code, data, len(symbols), segments=segments)
+        assert decoded == symbols

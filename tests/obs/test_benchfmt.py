@@ -1,0 +1,131 @@
+"""Unit tests for the bench result schema and the regression comparator."""
+
+import pytest
+
+from repro.obs.benchfmt import (
+    SCHEMA,
+    BenchMetric,
+    BenchReport,
+    compare_reports,
+    load_report,
+)
+
+
+def make_report(**values):
+    """Build a report of better='lower', 10%-tolerance metrics."""
+    report = BenchReport(metadata={"suite": "test"})
+    for name, value in values.items():
+        report.record(name, value, better="lower", tolerance=0.10)
+    return report
+
+
+class TestSchema:
+    def test_metric_contract_validation(self):
+        with pytest.raises(ValueError):
+            BenchMetric("m", 1.0, kind="wallclock")
+        with pytest.raises(ValueError):
+            BenchMetric("m", 1.0, better="sideways")
+        with pytest.raises(ValueError):
+            BenchMetric("m", 1.0, tolerance=-0.1)
+
+    def test_roundtrip_through_json_file(self, tmp_path):
+        report = BenchReport(metadata={"suite": "test", "seed": 7})
+        report.record("a.bytes", 1000, unit="bytes", better="lower", tolerance=0.10)
+        report.record("a.crc", 123456, better="near", tolerance=0.0)
+        report.record("a.mean", 0.01, kind="timing", better="lower", tolerance=0.25)
+        path = tmp_path / "bench.json"
+        report.write(path)
+
+        loaded = load_report(path)
+        assert loaded.metadata == {"suite": "test", "seed": 7}
+        assert loaded.metrics == report.metrics
+        assert loaded.to_dict()["schema"] == SCHEMA
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            BenchReport.from_dict({"schema": "repro-bench/99", "metrics": []})
+
+
+class TestCompare:
+    def test_within_band_passes(self):
+        baseline = make_report(bytes=1000)
+        candidate = make_report(bytes=1099)  # +9.9% < 10%
+        comparison = compare_reports(baseline, candidate)
+        assert comparison.ok
+        assert comparison.compared == 1
+        assert comparison.regressions == []
+
+    def test_lower_gate_fails_above_band(self):
+        comparison = compare_reports(make_report(bytes=1000), make_report(bytes=1101))
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert regression.gating
+        assert "baseline +10%" in regression.limit
+
+    def test_lower_gate_allows_improvement(self):
+        comparison = compare_reports(make_report(bytes=1000), make_report(bytes=10))
+        assert comparison.ok
+
+    def test_higher_gate(self):
+        baseline = BenchReport()
+        baseline.record("throughput", 100.0, better="higher", tolerance=0.10)
+        worse = BenchReport()
+        worse.record("throughput", 89.0, better="higher", tolerance=0.10)
+        better = BenchReport()
+        better.record("throughput", 150.0, better="higher", tolerance=0.10)
+        assert not compare_reports(baseline, worse).ok
+        assert compare_reports(baseline, better).ok
+
+    def test_near_zero_tolerance_is_exact(self):
+        baseline = BenchReport()
+        baseline.record("crc", 123456, better="near", tolerance=0.0)
+        same = BenchReport()
+        same.record("crc", 123456, better="near", tolerance=0.0)
+        drifted = BenchReport()
+        drifted.record("crc", 123457, better="near", tolerance=0.0)
+        assert compare_reports(baseline, same).ok
+        comparison = compare_reports(baseline, drifted)
+        assert not comparison.ok
+        assert comparison.regressions[0].limit == "exact match required"
+
+    def test_near_band_is_two_sided(self):
+        baseline = BenchReport()
+        baseline.record("count", 100.0, better="near", tolerance=0.10)
+        low = BenchReport()
+        low.record("count", 85.0, better="near", tolerance=0.10)
+        high = BenchReport()
+        high.record("count", 115.0, better="near", tolerance=0.10)
+        inside = BenchReport()
+        inside.record("count", 105.0, better="near", tolerance=0.10)
+        assert not compare_reports(baseline, low).ok
+        assert not compare_reports(baseline, high).ok
+        assert compare_reports(baseline, inside).ok
+
+    def test_missing_metric_is_a_failure(self):
+        comparison = compare_reports(make_report(bytes=1000), BenchReport())
+        assert not comparison.ok
+        assert comparison.missing == ["bytes"]
+        assert any("missing from candidate" in line for line in comparison.describe())
+
+    def test_extra_candidate_metrics_ignored(self):
+        candidate = make_report(bytes=1000, new_metric=5)
+        assert compare_reports(make_report(bytes=1000), candidate).ok
+
+    def test_timing_kind_reports_but_does_not_gate(self):
+        baseline = BenchReport()
+        baseline.record("mean", 0.010, kind="timing", better="lower", tolerance=0.25)
+        slow = BenchReport()
+        slow.record("mean", 0.050, kind="timing", better="lower", tolerance=0.25)
+        comparison = compare_reports(baseline, slow)
+        assert comparison.ok  # out of band but non-gating
+        (regression,) = comparison.regressions
+        assert not regression.gating
+        assert regression.describe().startswith("[info]")
+
+    def test_baseline_contract_governs(self):
+        # A candidate claiming a looser tolerance cannot widen the gate.
+        baseline = BenchReport()
+        baseline.record("bytes", 1000, better="lower", tolerance=0.10)
+        candidate = BenchReport()
+        candidate.record("bytes", 2000, better="lower", tolerance=5.0)
+        assert not compare_reports(baseline, candidate).ok

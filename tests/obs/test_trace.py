@@ -1,0 +1,80 @@
+"""Unit tests for the JSON-lines trace writer and reader."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import TraceWriter, read_trace
+
+
+def test_event_roundtrip_via_owned_sink():
+    writer = TraceWriter()
+    writer.event("block", method="lempel-ziv", index=3)
+    records = list(read_trace(io.StringIO(writer.getvalue())))
+    assert records == [
+        {"seq": 0, "type": "event", "name": "block", "method": "lempel-ziv", "index": 3}
+    ]
+
+
+def test_seq_increments_monotonically():
+    writer = TraceWriter()
+    for i in range(5):
+        writer.event("tick", index=i)
+    records = list(read_trace(io.StringIO(writer.getvalue())))
+    assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+    assert [r["index"] for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_no_clock_means_no_ts():
+    writer = TraceWriter()
+    writer.event("quiet")
+    (record,) = read_trace(io.StringIO(writer.getvalue()))
+    assert "ts" not in record
+
+
+def test_explicit_ts_wins_over_injected_clock():
+    ticks = iter([10.0, 20.0])
+    writer = TraceWriter(clock=lambda: next(ticks))
+    writer.event("clocked")
+    writer.event("stamped", ts=99.5)
+    first, second = read_trace(io.StringIO(writer.getvalue()))
+    assert first["ts"] == 10.0
+    assert second["ts"] == 99.5
+
+
+def test_span_carries_caller_supplied_duration():
+    writer = TraceWriter()
+    writer.span("replay", duration=1.25, ts=160.0, blocks=64)
+    (record,) = read_trace(io.StringIO(writer.getvalue()))
+    assert record["type"] == "span"
+    assert record["duration"] == 1.25
+    assert record["ts"] == 160.0
+    assert record["blocks"] == 64
+
+
+def test_external_sink_and_file_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        with TraceWriter(sink=handle) as writer:
+            writer.event("a", x=1)
+            writer.span("b", duration=0.5)
+            assert writer.records_written == 2
+    records = list(read_trace(path))
+    assert [r["name"] for r in records] == ["a", "b"]
+    # every line is standalone JSON
+    lines = path.read_text().splitlines()
+    assert all(json.loads(line) for line in lines)
+
+
+def test_getvalue_rejected_on_external_sink(tmp_path):
+    with open(tmp_path / "t.jsonl", "w", encoding="utf-8") as handle:
+        writer = TraceWriter(sink=handle)
+        with pytest.raises(TypeError):
+            writer.getvalue()
+
+
+def test_read_trace_skips_blank_lines():
+    source = io.StringIO('{"seq": 0, "type": "event", "name": "x"}\n\n  \n')
+    records = list(read_trace(source))
+    assert len(records) == 1

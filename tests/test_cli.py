@@ -109,6 +109,35 @@ class TestReplay:
         assert main(["replay", "--dataset", "molecular", "--blocks", "6"]) == 0
         assert "molecular" in capsys.readouterr().out
 
+    def test_trace_writes_one_event_per_block(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = tmp_path / "replay.jsonl"
+        assert main(["replay", "--blocks", "8", "--trace", str(path)]) == 0
+        records = list(read_trace(path))
+        blocks = [r for r in records if r["name"] == "block"]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(blocks) == 8
+        assert len(spans) == 1
+        assert spans[0]["name"] == "replay"
+        for record in blocks:
+            assert record["method"]
+            assert record["original_size"] > 0
+
+
+class TestStats:
+    def test_dumps_registry_json(self, capsys):
+        import json
+
+        assert main(["stats", "--blocks", "8", "--interval", "0"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        assert registry["repro_blocks_total"]["kind"] == "counter"
+        series = registry["repro_blocks_total"]["series"]
+        assert sum(entry["value"] for entry in series) == 8
+        # series are labeled with the dataset as the channel
+        assert all(entry["labels"]["channel"] == "commercial" for entry in series)
+        assert "repro_block_compression_seconds" in registry
+
 
 class TestReport:
     def test_report_to_file(self, tmp_path, capsys):
