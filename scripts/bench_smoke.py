@@ -30,8 +30,13 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.decision import DecisionInputs, DecisionThresholds, select_method  # noqa: E402
+from repro.core.engine import BlockEngine, CodecExecutor  # noqa: E402
+from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeline  # noqa: E402
+from repro.data.commercial import CommercialDataGenerator  # noqa: E402
 from repro.experiments.config import ReplayConfig  # noqa: E402
 from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE  # noqa: E402
+from repro.netsim.link import PAPER_LINKS  # noqa: E402
 from repro.obs.benchfmt import BenchReport, compare_reports, load_report  # noqa: E402
 from repro.obs.block import BlockTelemetry  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
@@ -41,6 +46,13 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
 #: The same scaled-down replay the figure benchmarks share (64 blocks
 #: over the 160 s trace keeps every regime transition).
 SMOKE_REPLAY = ReplayConfig(block_count=64, production_interval=2.5)
+
+#: Pool throughput scenario: 64 commercial blocks of 8 KB through
+#: Burrows-Wheeler on 4 workers with the default bounded queue.
+POOL_BLOCK_SIZE = 8 * 1024
+POOL_BLOCK_COUNT = 64
+POOL_WORKERS = 4
+POOL_QUEUE_DEPTH = 8
 
 #: Decision-table sweep axes: spans the "compress at all" knee, the
 #: Burrows-Wheeler slack knee, and the sampled-ratio gate.
@@ -134,6 +146,81 @@ def fig08_replay(report: BenchReport) -> None:
         )
 
 
+def pool_throughput(report: BenchReport) -> None:
+    """Multi-core pipeline gate: modeled ≥2x speedup + real-pool wire identity.
+
+    Per-block compression seconds come from the calibrated cost model on
+    the SUN_FIRE CPU and send seconds from the nominal 100 MBit line, so
+    the serial-vs-pooled comparison is exact run-to-run (the repo's one
+    bench requirement).  The 4-worker schedule is computed by
+    ``simulate_pipeline``; the wire bytes, however, come from a *real*
+    process-pool run, checksummed against the serial engine's output —
+    the pool must never change a single byte.
+    """
+    blocks = list(
+        CommercialDataGenerator(seed=2004).stream(POOL_BLOCK_SIZE, POOL_BLOCK_COUNT)
+    )
+    data = b"".join(blocks)
+    serial_engine = BlockEngine(
+        CodecExecutor(cost_model=DEFAULT_COSTS, cpu=SUN_FIRE),
+        block_size=POOL_BLOCK_SIZE,
+    )
+    serial_out = serial_engine.run(data, method="burrows-wheeler")
+    compression_seconds = [stats.compression_seconds for _, stats in serial_out]
+    wire_rate = PAPER_LINKS["100mbit"].throughput
+    send_seconds = [len(payload) / wire_rate for payload, _ in serial_out]
+    schedule = simulate_pipeline(
+        compression_seconds, send_seconds,
+        workers=POOL_WORKERS, queue_depth=POOL_QUEUE_DEPTH,
+    )
+    serial_crc = zlib.crc32(b"".join(payload for payload, _ in serial_out))
+
+    with WorkerPool(workers=POOL_WORKERS, mode="processes") as pool:
+        pooled_engine = PipelinedBlockEngine(
+            CodecExecutor(cost_model=DEFAULT_COSTS, cpu=SUN_FIRE, pool=pool),
+            block_size=POOL_BLOCK_SIZE,
+            pool=pool,
+            queue_depth=POOL_QUEUE_DEPTH,
+        )
+        pooled_out = pooled_engine.run(data, method="burrows-wheeler")
+    pooled_crc = zlib.crc32(b"".join(payload for payload, _ in pooled_out))
+    if pooled_crc != serial_crc:
+        raise AssertionError(
+            f"pooled wire bytes diverged from serial "
+            f"(crc {pooled_crc:#010x} != {serial_crc:#010x})"
+        )
+    if schedule.speedup < 2.0:
+        raise AssertionError(
+            f"pooled throughput only {schedule.speedup:.2f}x serial (< 2.0x gate)"
+        )
+
+    megabytes = len(data) / (1 << 20)
+    report.record(
+        "pool.serial_mb_per_s", megabytes / schedule.serial_seconds, unit="MB/s",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "pool.pooled_mb_per_s", megabytes / schedule.makespan, unit="MB/s",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "pool.speedup", schedule.speedup, unit="x",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "pool.overlap_fraction", schedule.overlap_fraction, unit="fraction",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "pool.wire_crc32_serial", serial_crc, unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "pool.wire_crc32_pooled", pooled_crc, unit="crc32",
+        better="near", tolerance=0.0,
+    )
+
+
 def build_report() -> BenchReport:
     report = BenchReport(
         metadata={
@@ -143,10 +230,18 @@ def build_report() -> BenchReport:
                 "production_interval": SMOKE_REPLAY.production_interval,
                 "link": SMOKE_REPLAY.link,
             },
+            "pool": {
+                "block_size": POOL_BLOCK_SIZE,
+                "block_count": POOL_BLOCK_COUNT,
+                "workers": POOL_WORKERS,
+                "queue_depth": POOL_QUEUE_DEPTH,
+                "method": "burrows-wheeler",
+            },
         }
     )
     fig01_decision_sweep(report)
     fig08_replay(report)
+    pool_throughput(report)
     return report
 
 

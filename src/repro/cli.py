@@ -114,6 +114,8 @@ def _replay_result(args: argparse.Namespace, observers=None):
         production_interval=args.interval,
         trace_offset=args.trace_offset,
         pipelined=args.pipelined,
+        workers=args.workers,
+        pool_mode=args.pool_mode,
     )
     blocks = (
         commercial_blocks(config)
@@ -233,8 +235,15 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
     from dataclasses import replace as dc_replace
 
-    replay = ReplayConfig(block_count=args.blocks)
-    headline = dc_replace(HEADLINE_CONFIG, block_count=max(16, args.blocks))
+    replay = ReplayConfig(
+        block_count=args.blocks, workers=args.workers, pool_mode=args.pool_mode
+    )
+    headline = dc_replace(
+        HEADLINE_CONFIG,
+        block_count=max(16, args.blocks),
+        workers=args.workers,
+        pool_mode=args.pool_mode,
+    )
     document = generate_report(replay_config=replay, headline_config=headline)
     if args.trace:
         from .experiments.endtoend import headline_comparison
@@ -296,6 +305,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--interval", type=float, default=1.25, help="seconds between blocks (0 = bulk)")
         p.add_argument("--trace-offset", type=float, default=0.0)
         p.add_argument("--pipelined", action="store_true")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="codec pool workers (1 = in-process; output is identical at any count)",
+        )
+        p.add_argument(
+            "--pool-mode",
+            choices=["processes", "threads", "serial"],
+            default="processes",
+            help="worker pool strategy when --workers > 1",
+        )
         p.add_argument("--trace", metavar="PATH", help="write a JSON-lines block trace to PATH")
 
     p = sub.add_parser("replay", help="run a simulated adaptive stream")
@@ -314,6 +335,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="regenerate the full reproduction report")
     p.add_argument("-o", "--output", help="write markdown to a file instead of stdout")
     p.add_argument("--blocks", type=int, default=64, help="replay length (blocks)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="codec pool workers for the replays (output identical at any count)",
+    )
+    p.add_argument(
+        "--pool-mode",
+        choices=["processes", "threads", "serial"],
+        default="processes",
+        help="worker pool strategy when --workers > 1",
+    )
     p.add_argument("--trace", metavar="PATH", help="write a JSON-lines headline trace to PATH")
     p.set_defaults(func=cmd_report)
 

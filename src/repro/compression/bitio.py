@@ -50,9 +50,8 @@ class BitWriter:
         """Append ``value`` one-bits followed by a terminating zero."""
         if value < 0:
             raise ValueError("unary values must be non-negative")
-        for _ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        # value ones then a zero, emitted as one (value+1)-bit pattern.
+        self.write_bits(((1 << value) - 1) << 1, value + 1)
 
     def write_gamma(self, value: int) -> None:
         """Append Elias-gamma code for ``value`` (value >= 1)."""

@@ -99,16 +99,27 @@ def bwt_inverse(last_column: bytes, primary: int) -> bytes:
     lf = np.empty(m, dtype=np.int64)
     lf[order] = np.arange(m)
 
-    lf_list = lf.tolist()
-    column_list = column.tolist()
-    out = [0] * m
-    row = primary
-    for i in range(m - 1, -1, -1):
-        out[i] = column_list[row]
-        row = lf_list[row]
+    # The classic walk iterates row = lf[row] one step per output byte.
+    # Because lf is a permutation, the whole orbit can instead be batched
+    # by pointer doubling: after k rounds the first 2**k positions are
+    # known and ``jump`` holds lf**(2**k), so each round doubles the
+    # recovered prefix with two vectorized gathers — O(m log m) numpy work
+    # replacing m Python-level iterations.
+    positions = np.empty(m, dtype=np.int64)
+    positions[0] = primary
+    filled = 1
+    jump = lf
+    while filled < m:
+        count = min(filled, m - filled)
+        positions[filled : filled + count] = jump[positions[:count]]
+        filled += count
+        if filled < m:
+            jump = jump[jump]
+
+    out = column[positions[::-1]]
     if out[m - 1] != 0:
         raise CorruptStreamError("sentinel did not surface at end of inverse BWT")
     body = out[:-1]
-    if 0 in body:
+    if body.size and not body.all():
         raise CorruptStreamError("sentinel surfaced inside inverse BWT output")
-    return bytes(value - 1 for value in body)
+    return (body - 1).astype(np.uint8).tobytes()

@@ -21,6 +21,7 @@ decoder in :mod:`repro.compression.bwhuff` builds on.
 from __future__ import annotations
 
 import heapq
+from functools import lru_cache
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,56 @@ __all__ = [
 #: Longest permitted codeword, in bits.  15 bits keeps the flat decode
 #: table at 32768 entries while being ample for 128 KB blocks.
 MAX_CODE_LENGTH = 15
+
+#: Distinct decode tables kept alive at once.  The 4 KB Lempel-Ziv
+#: sampling probe and the per-chunk Burrows-Wheeler verify path rebuild
+#: codes with recurring length profiles block after block; a handful of
+#: cached tables absorbs nearly all of that reconstruction cost.
+_DECODE_TABLE_CACHE = 64
+
+
+def _canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Canonical codeword values for ``lengths`` (0 for absent symbols).
+
+    Shared by encode-side setup and the cached decode-table builder so
+    both derive the identical code from a length profile.
+    """
+    codes = [0] * len(lengths)
+    code = 0
+    previous_length = 0
+    for sym in sorted(
+        (sym for sym, length in enumerate(lengths) if length > 0),
+        key=lambda sym: (lengths[sym], sym),
+    ):
+        length = lengths[sym]
+        code <<= length - previous_length
+        codes[sym] = code
+        code += 1
+        previous_length = length
+    return codes
+
+
+@lru_cache(maxsize=_DECODE_TABLE_CACHE)
+def _decode_tables(lengths: Tuple[int, ...]) -> Tuple[List[int], List[int]]:
+    """Flat (symbols, lengths) decode tables for a code-length profile.
+
+    Keyed by the length tuple: two :class:`HuffmanCode` instances with the
+    same profile share one table.  Plain lists, not numpy: scalar indexing
+    is faster and yields Python ints, which the bit-accumulator arithmetic
+    requires.  Callers treat the lists as read-only.
+    """
+    codes = _canonical_codes(lengths)
+    size = 1 << MAX_CODE_LENGTH
+    syms = np.zeros(size, dtype=np.int32)
+    lens = np.zeros(size, dtype=np.int8)
+    for sym, length in enumerate(lengths):
+        if length == 0:
+            continue
+        prefix = codes[sym] << (MAX_CODE_LENGTH - length)
+        span = 1 << (MAX_CODE_LENGTH - length)
+        syms[prefix : prefix + span] = sym
+        lens[prefix : prefix + span] = length
+    return syms.tolist(), lens.tolist()
 
 
 def huffman_code_lengths(frequencies: Sequence[int], max_length: int = MAX_CODE_LENGTH) -> List[int]:
@@ -116,20 +167,12 @@ class HuffmanCode:
         self._decode_lengths = None  # type: list | None
 
     def _assign_canonical(self) -> None:
-        order = sorted(
-            (sym for sym, l in enumerate(self.lengths) if l > 0),
-            key=lambda sym: (self.lengths[sym], sym),
-        )
-        code = 0
-        previous_length = 0
+        self.codes = _canonical_codes(self.lengths)
         kraft = 0
-        for sym in order:
-            length = self.lengths[sym]
-            code <<= length - previous_length
-            self.codes[sym] = code
-            self.code_strings[sym] = format(code, f"0{length}b")
-            code += 1
-            previous_length = length
+        for sym, length in enumerate(self.lengths):
+            if length == 0:
+                continue
+            self.code_strings[sym] = format(self.codes[sym], f"0{length}b")
             kraft += 1 << (MAX_CODE_LENGTH - length)
         if kraft > (1 << MAX_CODE_LENGTH):
             raise CorruptStreamError("code lengths violate the Kraft inequality")
@@ -163,41 +206,23 @@ class HuffmanCode:
     def encode_bitstring(self, symbols: Iterable[int]) -> str:
         """Return the concatenated codewords as a '0'/'1' string.
 
-        String concatenation followed by one ``int(s, 2)`` conversion is the
-        fastest pure-Python encoding path and is used for whole blocks.
+        The single whole-block encoding path: string concatenation followed
+        by one ``int(s, 2)`` conversion is the fastest pure-Python encoder.
+        Interleaved encoders (Huffman codewords mixed with raw extra bits,
+        as in the Lempel-Ziv pointer stream) index :attr:`code_strings`
+        directly; the matching read side is :class:`StreamDecoder`.
         """
         table = self.code_strings
         return "".join(map(table.__getitem__, symbols))
-
-    def encode_to(self, writer: BitWriter, symbols: Iterable[int]) -> None:
-        """Stream codewords into an existing :class:`BitWriter`."""
-        codes = self.codes
-        lengths = self.lengths
-        for sym in symbols:
-            length = lengths[sym]
-            if length == 0:
-                raise CorruptStreamError(f"symbol {sym} has no codeword")
-            writer.write_bits(codes[sym], length)
 
     # -- decoding -------------------------------------------------------------
 
     def _ensure_decode_table(self) -> None:
         if self._decode_symbols is not None:
             return
-        size = 1 << MAX_CODE_LENGTH
-        syms = np.zeros(size, dtype=np.int32)
-        lens = np.zeros(size, dtype=np.int8)
-        for sym, length in enumerate(self.lengths):
-            if length == 0:
-                continue
-            prefix = self.codes[sym] << (MAX_CODE_LENGTH - length)
-            span = 1 << (MAX_CODE_LENGTH - length)
-            syms[prefix : prefix + span] = sym
-            lens[prefix : prefix + span] = length
-        # Plain lists: scalar indexing is faster than numpy and yields
-        # Python ints, which the bit-accumulator arithmetic requires.
-        self._decode_symbols = syms.tolist()
-        self._decode_lengths = lens.tolist()
+        self._decode_symbols, self._decode_lengths = _decode_tables(
+            tuple(self.lengths)
+        )
 
     def decode_symbols(
         self, data: bytes, start_bit: int, count: int

@@ -20,15 +20,25 @@ This module supplies both systems:
   segment's decode reaches it can be accepted wholesale; otherwise the
   gap is re-decoded sequentially (rare).
 
-CPython's GIL means the thread pool only yields wall-clock speedups for
-codecs that release the GIL (the zlib/bz2-backed natives); for the pure-
-Python codecs the value is the container format and the algorithms
-themselves, which is what the reproduction needs.
+The pool strategy is configurable because CPython's GIL splits the codec
+population in two: ``threads`` yields wall-clock speedups only for codecs
+that release the GIL (the zlib/bz2-backed natives), ``processes`` is what
+the pure-Python codecs need (chunks and payloads pickle cheaply; the
+codec instance rides along once per task), and ``serial`` is the
+in-process fallback every broken pool degrades to.  The wire format is
+identical under every strategy — chunk geometry depends only on
+``chunk_size`` and payload bytes only on the base codec — so the choice
+is purely an execution detail.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .base import Codec, CorruptStreamError
@@ -37,12 +47,26 @@ from .varint import read_varint, write_varint
 
 __all__ = [
     "ParallelCodec",
+    "POOL_STRATEGIES",
     "parallel_huffman_decode",
     "huffman_segment_table",
 ]
 
 _MAGIC = b"PAR1"
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+POOL_STRATEGIES = ("threads", "processes", "serial")
+
+
+def _apply_codec(codec: Codec, operation: str, chunk: bytes) -> bytes:
+    """Process-pool task: run ``codec.compress``/``codec.decompress`` on a chunk.
+
+    Module-level so it pickles; the codec instance travels with each task,
+    which keeps workers stateless (no initializer handshake to get wrong).
+    """
+    if operation == "compress":
+        return codec.compress(chunk)
+    return codec.decompress(chunk)
 
 
 class ParallelCodec(Codec):
@@ -54,6 +78,12 @@ class ParallelCodec(Codec):
         varint chunk_count
         chunk_count x (varint original_len, varint compressed_len)
         concatenated chunk payloads
+
+    ``strategy`` picks the pool: ``threads`` for GIL-releasing natives,
+    ``processes`` for pure-Python codecs, ``serial`` for in-process
+    execution.  A pool that breaks mid-map (killed worker, failed fork)
+    degrades this codec to ``serial`` permanently and the map re-runs
+    in-process, so callers never see the breakage — only identical bytes.
     """
 
     family = "parallel"
@@ -63,26 +93,63 @@ class ParallelCodec(Codec):
         base: Codec,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         workers: int = 4,
+        strategy: str = "threads",
     ) -> None:
         if chunk_size < 1024:
             raise ValueError("chunk_size must be at least 1 KB")
         if workers < 1:
             raise ValueError("workers must be positive")
+        if strategy not in POOL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r} (want one of {POOL_STRATEGIES})"
+            )
         self.base = base
         self.chunk_size = chunk_size
         self.workers = workers
+        self.strategy = strategy
+        self.degradations = 0
         self.name = f"parallel:{base.name}"
+
+    def _make_executor(self) -> Optional[Executor]:
+        if self.strategy == "threads":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        if self.strategy == "processes":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return None
+
+    def _map(self, operation: str, chunks: Sequence[bytes]) -> List[bytes]:
+        """Apply the base codec over ``chunks`` under the current strategy."""
+        if not chunks:
+            return []
+        if self.strategy != "serial":
+            try:
+                executor = self._make_executor()
+            except (OSError, BrokenExecutor):
+                executor = None  # fork/spawn failed: degrade below
+            if executor is not None:
+                try:
+                    with executor:
+                        if self.strategy == "processes":
+                            tasks = [
+                                executor.submit(_apply_codec, self.base, operation, chunk)
+                                for chunk in chunks
+                            ]
+                            return [task.result() for task in tasks]
+                        apply = getattr(self.base, operation)
+                        return list(executor.map(apply, chunks))
+                except BrokenExecutor:
+                    pass  # degrade below
+            self.degradations += 1
+            self.strategy = "serial"
+        apply = getattr(self.base, operation)
+        return [apply(chunk) for chunk in chunks]
 
     def compress(self, data: bytes) -> bytes:
         chunks = [
             data[start : start + self.chunk_size]
             for start in range(0, len(data), self.chunk_size)
         ]
-        if chunks:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                payloads = list(pool.map(self.base.compress, chunks))
-        else:
-            payloads = []
+        payloads = self._map("compress", chunks)
         out = bytearray(_MAGIC)
         write_varint(out, len(chunks))
         for chunk, payload in zip(chunks, payloads):
@@ -111,11 +178,7 @@ class ParallelCodec(Codec):
             offset += compressed_length
         if offset != len(payload):
             raise CorruptStreamError("trailing bytes after last chunk")
-        if pieces:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                chunks = list(pool.map(self.base.decompress, pieces))
-        else:
-            chunks = []
+        chunks = self._map("decompress", pieces)
         for (original_length, _), chunk in zip(geometry, chunks):
             if len(chunk) != original_length:
                 raise CorruptStreamError("chunk decoded to unexpected length")

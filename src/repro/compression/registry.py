@@ -82,9 +82,17 @@ def _register_builtins() -> None:
     register_codec("burrows-wheeler", BurrowsWheelerCodec)
     register_codec("lempel-ziv-native", NativeLzCodec)
     register_codec("burrows-wheeler-native", NativeBwCodec)
-    register_codec("parallel:lempel-ziv", lambda: ParallelCodec(Lz77Codec()))
+    # The registered parallel codecs stay on the thread strategy: they run
+    # inside WorkerPool processes too, and nesting process pools would
+    # fork from forks.  Callers wanting processes construct ParallelCodec
+    # directly with strategy="processes".
     register_codec(
-        "parallel:burrows-wheeler", lambda: ParallelCodec(BurrowsWheelerCodec())
+        "parallel:lempel-ziv",
+        lambda: ParallelCodec(Lz77Codec(), strategy="threads"),
+    )
+    register_codec(
+        "parallel:burrows-wheeler",
+        lambda: ParallelCodec(BurrowsWheelerCodec(), strategy="threads"),
     )
     # Application-specific lossy methods (§5) with default parameters;
     # users register tighter-tolerance instances under their own names.

@@ -16,6 +16,8 @@ Zero-runs shorter than :data:`MIN_RUN` are cheaper raw, so they stay raw.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .base import CorruptStreamError
 
 __all__ = ["rle_encode", "rle_decode", "ESCAPE", "MAX_RUN", "MIN_RUN"]
@@ -26,29 +28,40 @@ MIN_RUN = 3
 
 
 def rle_encode(data: bytes) -> bytes:
-    """Encode ``data`` (any bytes) into the 0..254 alphabet."""
-    out = bytearray()
+    """Encode ``data`` (any bytes) into the 0..254 alphabet.
+
+    Run boundaries are found in one vectorized pass (``np.diff`` over the
+    byte array); the Python loop then walks *runs*, not bytes — on
+    post-MTF input (long zero runs) that is orders of magnitude fewer
+    iterations.  Output is byte-identical to the classic per-byte greedy
+    encoder: a zero run longer than :data:`MAX_RUN` splits greedily, and
+    each split piece independently chooses escape vs. raw form.
+    """
     n = len(data)
-    position = 0
-    while position < n:
-        byte = data[position]
+    if n == 0:
+        return b""
+    values = np.frombuffer(data, dtype=np.uint8)
+    boundaries = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = (0, *boundaries.tolist())
+    ends = (*boundaries.tolist(), n)
+    out = bytearray()
+    for start, end in zip(starts, ends):
+        byte = data[start]
+        length = end - start
         if byte == 0:
-            run = 1
-            while position + run < n and data[position + run] == 0 and run < MAX_RUN:
-                run += 1
-            if run >= MIN_RUN:
-                out.append(ESCAPE)
-                out.append(run)
-            else:
-                out += b"\x00" * run
-            position += run
+            while length > 0:
+                run = min(length, MAX_RUN)
+                if run >= MIN_RUN:
+                    out.append(ESCAPE)
+                    out.append(run)
+                else:
+                    out += b"\x00" * run
+                length -= run
         elif byte >= ESCAPE:
-            out.append(ESCAPE)
-            out.append(byte - ESCAPE)  # 0 -> literal 254, 1 -> literal 255
-            position += 1
+            # 0 -> literal 254, 1 -> literal 255; escapes never form runs.
+            out += bytes((ESCAPE, byte - ESCAPE)) * length
         else:
-            out.append(byte)
-            position += 1
+            out += bytes((byte,)) * length
     return bytes(out)
 
 

@@ -37,6 +37,14 @@ from .pipeline import (
 )
 from .policy import AdaptivePolicy, CompressionPolicy, FixedPolicy
 from .sampler import DEFAULT_SAMPLE_SIZE, LzSampler, SampleResult
+from .workers import (
+    DEFAULT_QUEUE_DEPTH,
+    POOL_MODES,
+    PipelinedBlockEngine,
+    PipelineSchedule,
+    WorkerPool,
+    simulate_pipeline,
+)
 
 __all__ = [
     "AdaptivePipeline",
@@ -48,6 +56,7 @@ __all__ = [
     "CodecExecutor",
     "CompressionPolicy",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_SAMPLE_SIZE",
     "Decision",
     "DecisionInputs",
@@ -57,13 +66,18 @@ __all__ = [
     "LzSampler",
     "OperatingPoint",
     "METHOD_CODES",
+    "POOL_MODES",
+    "PipelineSchedule",
+    "PipelinedBlockEngine",
     "Rating",
     "ReducingSpeedMonitor",
     "SampleResult",
     "StreamResult",
     "ThresholdCalibration",
+    "WorkerPool",
     "calibrate_thresholds",
     "cut_blocks",
     "measure",
     "select_method",
+    "simulate_pipeline",
 ]

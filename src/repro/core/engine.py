@@ -182,12 +182,19 @@ class CodecExecutor:
         verify: bool = False,
         expansion_fallback: bool = False,
         cost_model_fallback: bool = False,
+        pool: Optional["object"] = None,
     ) -> None:
         self.cost_model = cost_model
         self.cpu = cpu
         self.verify = verify
         self.expansion_fallback = expansion_fallback
         self.cost_model_fallback = cost_model_fallback
+        #: Optional :class:`~repro.core.workers.WorkerPool`.  When set,
+        #: registry-resolvable codecs execute on the pool's workers (which
+        #: time themselves through :func:`measure`, so this executor stays
+        #: the one accounting point); explicit codec instances and method
+        #: ``none`` stay in-process.
+        self.pool = pool
 
     # -- scaling rules (the 5× duplicated branch, now in one place) --------------
 
@@ -232,13 +239,36 @@ class CodecExecutor:
                 payload=block,
                 seconds=0.0,
             )
+        if codec is None and self.pool is not None and self.pool.accepts(method):
+            payload, measured = self.pool.run(method, block)
+            return self.finalize_compression(method, block, payload, measured)
         codec = codec if codec is not None else get_codec(method)
         result = measure(codec, block)
         payload = result.payload
         assert payload is not None
-        seconds = self._scale_compression_time(method, len(block), result.elapsed_seconds)
+        return self.finalize_compression(
+            method, block, payload, result.elapsed_seconds, codec=codec
+        )
+
+    def finalize_compression(
+        self,
+        method: str,
+        block: bytes,
+        payload: bytes,
+        measured_seconds: float,
+        codec: Optional[Codec] = None,
+    ) -> BlockExecution:
+        """Account for a compression that already ran (locally or on a worker).
+
+        Applies the cost-model/CPU scaling rules, the optional round-trip
+        verification, and the expansion guard — the accounting tail every
+        compression shares, whether the bytes were produced in-process or
+        shipped back from a pool worker with its measured time.
+        """
+        seconds = self._scale_compression_time(method, len(block), measured_seconds)
         verified = False
         if self.verify:
+            codec = codec if codec is not None else get_codec(method)
             if codec.decompress(payload) != block:
                 raise CodecError(f"codec {method!r} failed to round-trip a block")
             verified = True
@@ -392,10 +422,24 @@ class BlockEngine:
                 raise ValueError("no method given and no selector configured")
             method = self.selector(index, block)
         execution = self.executor.compress(method, block, codec=codec)
+        return self.emit(execution, index, codec=codec)
+
+    def emit(
+        self,
+        execution: BlockExecution,
+        index: int,
+        codec: Optional[Codec] = None,
+    ) -> Tuple[bytes, BlockStats]:
+        """Turn a finished :class:`BlockExecution` into stats + notifications.
+
+        The shared tail of :meth:`execute`, also driven by
+        :class:`~repro.core.workers.PipelinedBlockEngine` when it drains
+        pool results in submission order.
+        """
         decompression_seconds = 0.0
         if self.time_decompression:
             decompression_seconds = self.executor.decompression_time(
-                execution.method, len(block), execution.payload, codec=codec
+                execution.method, execution.original_size, execution.payload, codec=codec
             )
         stats = BlockStats(
             index=index,

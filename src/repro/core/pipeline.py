@@ -49,6 +49,7 @@ from .engine import DEFAULT_BLOCK_SIZE, BlockEngine, CodecExecutor, Observer
 from .monitor import ReducingSpeedMonitor
 from .policy import AdaptivePolicy, CompressionPolicy
 from .sampler import LzSampler, SampleResult
+from .workers import WorkerPool
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -206,9 +207,13 @@ class AdaptivePipeline:
         monitor_alpha: float = 0.5,
         verify: bool = False,
         observers: Optional[Iterable[Observer]] = None,
+        workers: int = 1,
+        pool_mode: str = "processes",
     ) -> None:
         if block_size < 1024:
             raise ValueError("block_size must be at least 1 KB")
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.policy = policy if policy is not None else AdaptivePolicy(DecisionThresholds())
         self.block_size = block_size
         self.cost_model = cost_model
@@ -225,12 +230,25 @@ class AdaptivePipeline:
         )
         self.monitor_alpha = monitor_alpha
         self.verify = verify
-        # All timed codec work flows through the shared execution substrate;
-        # per-block stats reach any observers the caller registered.
-        self.executor = CodecExecutor(cost_model=cost_model, cpu=cpu, verify=verify)
+        # With workers > 1, registry-resolvable codec work runs on pool
+        # workers.  Under modeled costs the measured worker seconds are
+        # discarded in favor of the cost model, so the replay output is
+        # bit-identical at any worker count — the pool only buys wall
+        # clock.  All accounting still flows through the one executor.
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(workers=workers, mode=pool_mode) if workers > 1 else None
+        )
+        self.executor = CodecExecutor(
+            cost_model=cost_model, cpu=cpu, verify=verify, pool=self.pool
+        )
         self.engine = BlockEngine(
             executor=self.executor, block_size=block_size, observers=observers
         )
+
+    def close(self) -> None:
+        """Release pool workers, if any (idempotent)."""
+        if self.pool is not None:
+            self.pool.shutdown()
 
     def run(
         self,

@@ -1,0 +1,372 @@
+"""Multi-core block execution: worker pools and the pipelined engine.
+
+The paper's headline end-to-end run spends "slightly more than 60%" of
+its time compressing (§4) — the single biggest win left on the table is
+overlapping compression of block *i+1* with transmission of block *i*
+and spreading codec work across cores, the parallel-compression lineage
+of refs [31-33].  This module supplies that layer:
+
+* :class:`WorkerPool` — a ``ProcessPoolExecutor``-backed pool of codec
+  workers (``mode="processes"`` for pure-Python codecs, ``"threads"``
+  for GIL-releasing natives, ``"serial"`` as the in-process fallback).
+  Workers resolve methods through the codec registry and time themselves
+  with :func:`~repro.core.engine.measure` — the engine module stays the
+  one ``perf_counter`` site — and ship back ``(payload, seconds)`` so
+  :class:`~repro.core.engine.CodecExecutor` remains the one accounting
+  point.  A broken pool (killed worker, failed fork) degrades to serial
+  execution instead of corrupting the stream.
+* :class:`PipelinedBlockEngine` — a :class:`~repro.core.engine.BlockEngine`
+  that keeps a bounded queue of in-flight blocks on the pool, so
+  compression of later blocks overlaps the consumer's handling (send) of
+  earlier ones while :class:`~repro.core.engine.BlockStats` still emit
+  strictly in block order.
+* :func:`simulate_pipeline` — the deterministic schedule model: given
+  per-block compression and send seconds (engine-accounted, so modeled
+  replays stay exact), it computes the pooled makespan, speedup, and
+  overlap fraction without touching a wall clock.  This is what the
+  bench gate compares, which keeps the numbers identical run-to-run and
+  machine-to-machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..compression.registry import available_codecs, get_codec
+from ..obs.block import record_pipeline_block, record_pool_degraded, record_pool_task
+from ..obs.metrics import MetricsRegistry
+from .engine import (
+    DEFAULT_BLOCK_SIZE,
+    BlockEngine,
+    BlockStats,
+    CodecExecutor,
+    Observer,
+    Selector,
+    measure,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "POOL_MODES",
+    "PipelineSchedule",
+    "PipelinedBlockEngine",
+    "WorkerPool",
+    "simulate_pipeline",
+]
+
+POOL_MODES = ("processes", "threads", "serial")
+
+#: Default bound on in-flight blocks for the pipelined engine: deep
+#: enough to keep 4 workers busy, shallow enough that a stall does not
+#: buffer the whole stream.
+DEFAULT_QUEUE_DEPTH = 8
+
+
+def _pool_compress(method: str, data: bytes) -> Tuple[bytes, float]:
+    """Worker-side task: compress ``data`` with the registered ``method``.
+
+    Runs inside pool workers (or inline for serial/degraded pools).  The
+    timing comes from :func:`repro.core.engine.measure`, keeping the
+    engine module the single ``perf_counter`` site; the caller's
+    :class:`~repro.core.engine.CodecExecutor` applies the scaling rules
+    to the returned measured seconds.
+    """
+    result = measure(get_codec(method), data)
+    payload = result.payload
+    assert payload is not None
+    return payload, result.elapsed_seconds
+
+
+class WorkerPool:
+    """A pool of codec workers with graceful degradation to serial.
+
+    Process workers are initialized once per pool (the registry's builtin
+    codecs register at import time inside each worker); per-task payloads
+    are the pickled block bytes plus the method name, and results carry
+    the worker-measured seconds.  ``mode="threads"`` suits codecs that
+    release the GIL (the zlib/bz2 natives); ``"processes"`` suits the
+    pure-Python codecs; ``"serial"`` executes inline and is what a broken
+    pool degrades to — permanently, so one dead worker cannot flap.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        mode: str = "processes",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if mode not in POOL_MODES:
+            raise ValueError(f"unknown pool mode {mode!r} (want one of {POOL_MODES})")
+        self.workers = workers
+        self.mode = mode
+        self.registry = registry
+        self.degradations = 0
+        self._executor: Optional[Union[ProcessPoolExecutor, ThreadPoolExecutor]] = None
+        self._known = frozenset(available_codecs())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def effective_mode(self) -> str:
+        """The mode tasks actually run under (``serial`` after degradation)."""
+        return self.mode
+
+    def _ensure_executor(self) -> Optional[Union[ProcessPoolExecutor, ThreadPoolExecutor]]:
+        if self.mode == "serial":
+            return None
+        if self._executor is None:
+            if self.mode == "processes":
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Release pool workers (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.shutdown()
+
+    # -- degradation -------------------------------------------------------------
+
+    def _degrade(self) -> None:
+        """Fall back to serial for the rest of this pool's life."""
+        self.degradations += 1
+        if self.registry is not None:
+            record_pool_degraded(self.registry, self.mode)
+        self.shutdown()
+        self.mode = "serial"
+
+    # -- execution ---------------------------------------------------------------
+
+    def accepts(self, method: str) -> bool:
+        """Whether ``method`` can execute on pool workers.
+
+        Workers resolve methods through the registry snapshot taken when
+        the pool spawned; methods registered afterwards (or resolved from
+        explicit codec instances) must run in the caller's process.
+        """
+        return method in self._known
+
+    def submit(self, method: str, data: bytes) -> "Future[Tuple[bytes, float]]":
+        """Schedule one block compression; returns a future of (payload, seconds).
+
+        A pool that is (or becomes) serial returns an already-completed
+        future, so callers can treat every mode uniformly.  Futures from a
+        worker that dies mid-task raise ``BrokenExecutor``; callers that
+        cannot tolerate that use :meth:`run`, which degrades and retries.
+        """
+        if self.registry is not None:
+            record_pool_task(self.registry, self.effective_mode, self.workers)
+        executor = self._ensure_executor()
+        if executor is None:
+            future: "Future[Tuple[bytes, float]]" = Future()
+            future.set_result(_pool_compress(method, data))
+            return future
+        try:
+            return executor.submit(_pool_compress, method, data)
+        except (BrokenExecutor, RuntimeError):
+            # The pool broke before the task was accepted (killed worker,
+            # shutdown race): degrade and answer inline.
+            self._degrade()
+            future = Future()
+            future.set_result(_pool_compress(method, data))
+            return future
+
+    def run(self, method: str, data: bytes) -> Tuple[bytes, float]:
+        """Compress one block on the pool, degrading to serial on breakage."""
+        future = self.submit(method, data)
+        try:
+            return future.result()
+        except BrokenExecutor:
+            self._degrade()
+            return _pool_compress(method, data)
+
+
+class PipelinedBlockEngine(BlockEngine):
+    """Block engine that overlaps compression with downstream consumption.
+
+    Blocks are submitted to a :class:`WorkerPool` with at most
+    ``queue_depth`` in flight; results are drained strictly in submission
+    order, so observers see the same in-order
+    :class:`~repro.core.engine.BlockStats` stream a serial
+    :class:`~repro.core.engine.BlockEngine` would emit and the wire bytes
+    are byte-identical to serial execution.  While the caller handles
+    block ``i`` (e.g. writes it to a transport), blocks ``i+1 ...
+    i+queue_depth`` are already compressing on the workers — the
+    compress/send overlap of the paper's pipelined transport, now backed
+    by real cores.
+
+    A broken pool degrades mid-stream: already-submitted blocks whose
+    futures died are re-executed serially in place, preserving order.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[CodecExecutor] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        selector: Optional[Selector] = None,
+        observers: Optional[Iterable[Observer]] = None,
+        time_decompression: bool = True,
+        pool: Optional[WorkerPool] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(
+            executor=executor,
+            block_size=block_size,
+            selector=selector,
+            observers=observers,
+            time_decompression=time_decompression,
+        )
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.pool = pool if pool is not None else WorkerPool(workers=1, mode="serial")
+        self.queue_depth = queue_depth
+        self.registry = registry
+
+    def run(
+        self,
+        data: Union[bytes, bytearray, Iterable[bytes]],
+        method: Optional[str] = None,
+    ) -> List[Tuple[bytes, BlockStats]]:
+        """Cut ``data`` and execute every block through the pool."""
+        results: List[Tuple[bytes, BlockStats]] = []
+        in_flight: "deque[Tuple[int, bytes, str, Optional[Future]]]" = deque()
+        for index, block in enumerate(self.cut(data)):
+            block_method = method
+            if block_method is None:
+                if self.selector is None:
+                    raise ValueError("no method given and no selector configured")
+                block_method = self.selector(index, block)
+            if block_method != "none" and self.pool.accepts(block_method):
+                future: Optional[Future] = self.pool.submit(block_method, block)
+            else:
+                future = None  # executes in-process at drain time
+            in_flight.append((index, block, block_method, future))
+            while len(in_flight) >= self.queue_depth:
+                self._drain_one(in_flight, results)
+        while in_flight:
+            self._drain_one(in_flight, results)
+        return results
+
+    def _drain_one(
+        self,
+        in_flight: "deque[Tuple[int, bytes, str, Optional[Future]]]",
+        results: List[Tuple[bytes, BlockStats]],
+    ) -> None:
+        index, block, method, future = in_flight.popleft()
+        if future is None:
+            execution = self.executor.compress(method, block)
+        else:
+            try:
+                payload, measured = future.result()
+            except BrokenExecutor:
+                # The worker died under this block: the pool degrades to
+                # serial and the block re-executes in-process, in order.
+                payload, measured = self.pool.run(method, block)
+            execution = self.executor.finalize_compression(
+                method, block, payload, measured
+            )
+        if self.registry is not None:
+            record_pipeline_block(
+                self.registry, self.pool.effective_mode, self.queue_depth
+            )
+        results.append(self.emit(execution, index))
+
+
+# -- the deterministic schedule model ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Outcome of scheduling a block stream onto workers + an in-order wire.
+
+    All quantities derive from engine-accounted per-block seconds, so a
+    modeled replay produces the identical schedule on every machine — the
+    property the bench regression gate relies on.
+    """
+
+    makespan: float
+    serial_seconds: float
+    compression_seconds: float
+    send_seconds: float
+    workers: int
+    queue_depth: int
+
+    @property
+    def speedup(self) -> float:
+        """Serial (compress-then-send) time over the pipelined makespan."""
+        if self.makespan <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.makespan
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of serial time hidden by overlap and multi-core workers."""
+        if self.serial_seconds <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.makespan / self.serial_seconds)
+
+
+def simulate_pipeline(
+    compression_seconds: Sequence[float],
+    send_seconds: Sequence[float],
+    workers: int,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+) -> PipelineSchedule:
+    """Schedule blocks onto ``workers`` compressors and one in-order wire.
+
+    Block ``i`` may start compressing once a worker is free *and* block
+    ``i - queue_depth`` has finished sending (the bounded in-flight
+    queue); it may start sending once compressed and once block ``i-1``
+    left the wire (in-order emission).  The serial reference is the
+    paper's unpipelined loop: compress, then send, one block at a time.
+    """
+    if len(compression_seconds) != len(send_seconds):
+        raise ValueError("compression and send series must have equal length")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be positive")
+    total_compression = float(sum(compression_seconds))
+    total_send = float(sum(send_seconds))
+    worker_free = [0.0] * workers
+    heapq.heapify(worker_free)
+    wire_free = 0.0
+    send_done: List[float] = []
+    for index, (compress_time, send_time) in enumerate(
+        zip(compression_seconds, send_seconds)
+    ):
+        gate = send_done[index - queue_depth] if index >= queue_depth else 0.0
+        start = max(heapq.heappop(worker_free), gate)
+        compressed_at = start + compress_time
+        heapq.heappush(worker_free, compressed_at)
+        send_start = max(compressed_at, wire_free)
+        wire_free = send_start + send_time
+        send_done.append(wire_free)
+    return PipelineSchedule(
+        makespan=wire_free,
+        serial_seconds=total_compression + total_send,
+        compression_seconds=total_compression,
+        send_seconds=total_send,
+        workers=workers,
+        queue_depth=queue_depth,
+    )

@@ -39,6 +39,10 @@ class ReplayConfig:
     link_seed: int = 2
     trace_seed: int = 7
     pipelined: bool = False
+    #: Codec pool workers (1 = in-process).  Modeled costs make replay
+    #: output identical at any worker count, so this only buys wall clock.
+    workers: int = 1
+    pool_mode: str = "processes"
 
 
 #: Figures 8, 9, 10: commercial data paced across the whole 160 s trace.

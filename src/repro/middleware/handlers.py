@@ -70,6 +70,7 @@ class CompressionHandler:
         executor: Optional[CodecExecutor] = None,
         registry: Optional[MetricsRegistry] = None,
         channel: str = "handler",
+        pool: Optional["object"] = None,
     ) -> None:
         self.method = method
         self.codec = get_codec(method)
@@ -80,7 +81,9 @@ class CompressionHandler:
         self.executor = (
             executor
             if executor is not None
-            else CodecExecutor(cost_model=cost_model, cpu=cpu, expansion_fallback=True)
+            else CodecExecutor(
+                cost_model=cost_model, cpu=cpu, expansion_fallback=True, pool=pool
+            )
         )
 
     def __call__(self, event: Event) -> Event:

@@ -32,7 +32,13 @@ from .trace import TraceWriter
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import BlockStats
 
-__all__ = ["BlockTelemetry", "record_execution"]
+__all__ = [
+    "BlockTelemetry",
+    "record_execution",
+    "record_pool_task",
+    "record_pool_degraded",
+    "record_pipeline_block",
+]
 
 #: Metric names (one vocabulary for engine and handler paths).
 BLOCKS_TOTAL = "repro_blocks_total"
@@ -42,6 +48,38 @@ BYTES_OUT_TOTAL = "repro_block_bytes_out_total"
 COMPRESSION_SECONDS = "repro_block_compression_seconds"
 DECOMPRESSION_SECONDS = "repro_block_decompression_seconds"
 BLOCK_RATIO = "repro_block_ratio"
+
+#: Worker-pool vocabulary (the multi-core execution layer).
+POOL_TASKS_TOTAL = "repro_pool_tasks_total"
+POOL_DEGRADED_TOTAL = "repro_pool_degraded_total"
+POOL_WORKERS = "repro_pool_workers"
+PIPELINE_BLOCKS_TOTAL = "repro_pipeline_blocks_total"
+
+
+def record_pool_task(registry: MetricsRegistry, pool_mode: str, workers: int) -> None:
+    """Count one codec task dispatched to a worker pool."""
+    registry.counter(POOL_TASKS_TOTAL, help="codec tasks dispatched to pool workers").inc(
+        pool_mode=pool_mode
+    )
+    registry.gauge(POOL_WORKERS, help="configured pool worker count").set(
+        workers, pool_mode=pool_mode
+    )
+
+
+def record_pool_degraded(registry: MetricsRegistry, pool_mode: str) -> None:
+    """Count one pool degradation (e.g. a broken process pool) to serial."""
+    registry.counter(
+        POOL_DEGRADED_TOTAL, help="pool degradations to serial execution"
+    ).inc(pool_mode=pool_mode)
+
+
+def record_pipeline_block(
+    registry: MetricsRegistry, pool_mode: str, queue_depth: int
+) -> None:
+    """Count one block emitted by a pipelined engine, labeled by its shape."""
+    registry.counter(
+        PIPELINE_BLOCKS_TOTAL, help="blocks emitted by pipelined block engines"
+    ).inc(pool_mode=pool_mode, queue_depth=str(queue_depth))
 
 
 def record_execution(

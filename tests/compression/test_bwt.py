@@ -111,3 +111,42 @@ class TestBwtInverse:
     def test_roundtrip_property(self, data):
         last, primary = bwt_transform(data)
         assert bwt_inverse(last, primary) == data
+
+
+class TestInverseMatchesSequentialReference:
+    """The pointer-doubling inverse must equal the classic one-step walk."""
+
+    @staticmethod
+    def sequential_inverse(last_column: bytes, primary: int) -> bytes:
+        n = len(last_column)
+        if n == 0:
+            return b""
+        m = n + 1
+        column = np.empty(m, dtype=np.int64)
+        values = np.frombuffer(last_column, dtype=np.uint8).astype(np.int64) + 1
+        column[:primary] = values[:primary]
+        column[primary] = 0
+        column[primary + 1 :] = values[primary:]
+        order = np.argsort(column, kind="stable")
+        lf = np.empty(m, dtype=np.int64)
+        lf[order] = np.arange(m)
+        shifted = []  # 0..256: byte values are stored +1, sentinel is 0
+        row = primary
+        for _ in range(m):
+            shifted.append(int(column[row]))
+            row = int(lf[row])
+        shifted.reverse()
+        assert shifted[-1] == 0  # sentinel must close the orbit
+        return bytes(value - 1 for value in shifted[:-1])
+
+    def test_corpus(self, corpus):
+        for name, data in corpus.items():
+            sample = data[: 16 * 1024]
+            last, primary = bwt_transform(sample)
+            assert bwt_inverse(last, primary) == self.sequential_inverse(last, primary), name
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, data):
+        last, primary = bwt_transform(data)
+        assert bwt_inverse(last, primary) == self.sequential_inverse(last, primary)

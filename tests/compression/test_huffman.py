@@ -102,20 +102,23 @@ class TestHuffmanCode:
         assert decoded == symbols
         assert end_bit == len(bits)
 
-    def test_encode_to_writer_matches_bitstring(self):
+    def test_bitstring_matches_per_symbol_writer(self):
+        # encode_bitstring is the one whole-block encoder; writing each
+        # codeword through a BitWriter must produce the identical stream.
         symbols = [2, 0, 1, 1, 2, 2, 2]
         code = HuffmanCode.from_symbols(symbols, 3)
         writer = BitWriter()
-        code.encode_to(writer, symbols)
+        for sym in symbols:
+            writer.write_bits(code.codes[sym], code.lengths[sym])
         bits = code.encode_bitstring(symbols)
         padding = (-len(bits)) % 8
         expected = int(bits + "0" * padding, 2).to_bytes((len(bits) + padding) // 8, "big") if bits else b""
         assert writer.getvalue() == expected
 
-    def test_encode_unknown_symbol_raises(self):
+    def test_absent_symbol_has_no_codeword(self):
         code = HuffmanCode.from_frequencies([1, 1, 0])
-        with pytest.raises(CorruptStreamError):
-            code.encode_to(BitWriter(), [2])
+        assert code.lengths[2] == 0
+        assert code.code_strings[2] == ""
 
     def test_expected_bits(self):
         code = HuffmanCode.from_frequencies([1, 1])
@@ -141,9 +144,10 @@ class TestStreamDecoder:
     def test_mixed_codes_and_raw_bits(self):
         code = HuffmanCode.from_frequencies([5, 3, 2])
         writer = BitWriter()
-        code.encode_to(writer, [0, 2])
+        for sym in (0, 2):
+            writer.write_bits(code.codes[sym], code.lengths[sym])
         writer.write_bits(0b1011, 4)
-        code.encode_to(writer, [1])
+        writer.write_bits(code.codes[1], code.lengths[1])
         decoder = StreamDecoder(writer.getvalue())
         assert decoder.read_code(code) == 0
         assert decoder.read_code(code) == 2
@@ -200,3 +204,29 @@ class TestHuffmanCodec:
     def test_roundtrip_property(self, data):
         codec = HuffmanCodec()
         assert codec.decompress(codec.compress(data)) == data
+
+
+class TestDecodeTableCache:
+    def test_equal_length_codes_share_tables(self):
+        from repro.compression.huffman import _decode_tables
+
+        a = HuffmanCode.from_frequencies([10, 7, 5, 2, 1])
+        b = HuffmanCode.from_frequencies([100, 70, 50, 20, 10])  # same shape
+        assert a.lengths == b.lengths
+        a._ensure_decode_table()
+        b._ensure_decode_table()
+        # lru_cache returns the identical table objects for identical keys.
+        assert a._decode_symbols is b._decode_symbols
+        assert a._decode_lengths is b._decode_lengths
+        info = _decode_tables.cache_info()
+        assert info.hits >= 1
+
+    def test_cached_decode_stays_correct(self):
+        symbols = [0, 1, 2, 1, 0, 3, 3, 3, 2]
+        first = HuffmanCode.from_symbols(symbols, 4)
+        second = HuffmanCode(list(first.lengths))  # cache hit path
+        bits = first.encode_bitstring(symbols)
+        padding = (-len(bits)) % 8
+        data = int(bits + "0" * padding, 2).to_bytes((len(bits) + padding) // 8, "big")
+        decoded, _ = second.decode_symbols(data, 0, len(symbols))
+        assert decoded == symbols

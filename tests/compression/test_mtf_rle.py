@@ -116,3 +116,78 @@ class TestRle:
         encoded = rle_encode(data)
         assert 255 not in encoded
         assert rle_decode(encoded) == data
+
+
+def reference_mtf_encode(data: bytes) -> bytes:
+    table = list(range(256))
+    out = bytearray()
+    for byte in data:
+        index = table.index(byte)
+        out.append(index)
+        table.pop(index)
+        table.insert(0, byte)
+    return bytes(out)
+
+
+def reference_mtf_decode(ranks: bytes) -> bytes:
+    table = list(range(256))
+    out = bytearray()
+    for rank in ranks:
+        byte = table.pop(rank)
+        out.append(byte)
+        table.insert(0, byte)
+    return bytes(out)
+
+
+def reference_rle_encode(data: bytes) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        byte = data[i]
+        if byte == 0:
+            run = 1
+            while i + run < len(data) and data[i + run] == 0 and run < MAX_RUN:
+                run += 1
+            if run >= 3:
+                out += bytes((ESCAPE, run))
+            else:
+                out += b"\x00" * run
+            i += run
+        elif byte >= ESCAPE:
+            out += bytes((ESCAPE, byte - ESCAPE))
+            i += 1
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+class TestVectorizedMatchesReference:
+    """The numpy run-boundary rewrites must be byte-equal to the scalar loops."""
+
+    def test_mtf_corpus(self, corpus):
+        for name, data in corpus.items():
+            sample = data[:16384]
+            encoded = mtf_encode(sample)
+            assert encoded == reference_mtf_encode(sample), name
+            assert mtf_decode(encoded) == reference_mtf_decode(encoded), name
+
+    def test_rle_corpus(self, corpus):
+        for name, data in corpus.items():
+            sample = data[:16384]
+            assert rle_encode(sample) == reference_rle_encode(sample), name
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=60)
+    def test_mtf_property(self, data):
+        assert mtf_encode(data) == reference_mtf_encode(data)
+
+    @given(st.lists(st.sampled_from([0, 0, 0, 0, 1, 7, 253, 254, 255]), max_size=1500).map(bytes))
+    @settings(max_examples=60)
+    def test_rle_property(self, data):
+        assert rle_encode(data) == reference_rle_encode(data)
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=40)
+    def test_rle_property_general(self, data):
+        assert rle_encode(data) == reference_rle_encode(data)

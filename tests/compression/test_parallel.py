@@ -237,3 +237,34 @@ class TestParallelHuffmanEdgeCases:
         data = int(bits + "0" * padding, 2).to_bytes((len(bits) + padding) // 8, "big")
         decoded = parallel_huffman_decode(code, data, len(symbols), segments=segments)
         assert decoded == symbols
+
+
+class TestPoolStrategies:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ParallelCodec(Lz77Codec(), strategy="green-threads")
+
+    @pytest.mark.parametrize("strategy", ["threads", "processes", "serial"])
+    def test_wire_bytes_identical_across_strategies(self, strategy, corpus):
+        data = corpus["commercial"][: 96 * 1024]
+        reference = ParallelCodec(Lz77Codec(), strategy="serial").compress(data)
+        codec = ParallelCodec(Lz77Codec(), strategy=strategy)
+        payload = codec.compress(data)
+        assert payload == reference
+        assert codec.decompress(payload) == data
+
+    def test_process_strategy_decompresses_serial_payload(self, corpus):
+        data = corpus["lowentropy"][: 64 * 1024]
+        payload = ParallelCodec(Lz77Codec(), strategy="serial").compress(data)
+        assert ParallelCodec(Lz77Codec(), strategy="processes").decompress(payload) == data
+
+    def test_broken_pool_degrades_to_serial(self, corpus):
+        data = corpus["commercial"][: 64 * 1024]
+        reference = ParallelCodec(Lz77Codec(), strategy="serial").compress(data)
+        codec = ParallelCodec(Lz77Codec(), strategy="processes")
+        codec._make_executor = lambda: (_ for _ in ()).throw(OSError("fork failed"))
+        assert codec.compress(data) == reference
+        assert codec.strategy == "serial"
+        assert codec.degradations == 1
+        # Degraded codec keeps working without a pool.
+        assert codec.decompress(reference) == data
