@@ -35,8 +35,12 @@ from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeli
 from repro.data.commercial import CommercialDataGenerator  # noqa: E402
 from repro.experiments.config import ReplayConfig  # noqa: E402
 from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
+from repro.middleware.events import Event  # noqa: E402
+from repro.netsim.clock import VirtualClock  # noqa: E402
 from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE  # noqa: E402
-from repro.netsim.link import PAPER_LINKS  # noqa: E402
+from repro.netsim.faults import FaultPlan, FaultRule, RetryPolicy  # noqa: E402
+from repro.netsim.link import PAPER_LINKS, SimulatedLink  # noqa: E402
 from repro.obs.benchfmt import BenchReport, compare_reports, load_report  # noqa: E402
 from repro.obs.block import BlockTelemetry  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
@@ -59,6 +63,12 @@ POOL_QUEUE_DEPTH = 8
 SENDING_TIMES = (0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0)
 LZ_SPEEDS = (1e5, 5e5, 1.4e6, 5e6, 2e7)
 SAMPLED_RATIOS = (None, 0.2, 0.35, 0.6, 0.9)
+
+#: Chaos recovery scenario (non-gating): 32 events through the seeded
+#: kitchen-sink fault plan, recovered by ReliableEventLink.
+CHAOS_EVENT_COUNT = 32
+CHAOS_EVENT_SIZE = 4 * 1024
+CHAOS_SEED = 11
 
 
 def _crc(parts) -> int:
@@ -221,6 +231,74 @@ def pool_throughput(report: BenchReport) -> None:
     )
 
 
+def chaos_recovery(report: BenchReport) -> None:
+    """Non-gating (kind="timing"): recovery cost under seeded chaos.
+
+    Replays commercial-data events through a kitchen-sink fault plan on
+    the hostile in-memory wire and records what recovery cost: retries,
+    CRC rejections, and the virtual seconds the faults added.  Byte-exact
+    delivery is *asserted* here (a failure aborts the bench run), but the
+    recorded magnitudes are informational — ``compare_reports`` gates
+    only ``kind="deterministic"`` metrics, so these track drift without
+    failing CI (the hard pass/fail chaos gate is ``scripts/chaos.py``).
+    """
+    plan = FaultPlan(
+        [
+            FaultRule(kind="drop", probability=0.1),
+            FaultRule(kind="corrupt", probability=0.1),
+            FaultRule(kind="duplicate", probability=0.1),
+            FaultRule(kind="delay", probability=0.1, delay=0.02),
+        ],
+        seed=CHAOS_SEED,
+        name="bench-kitchen-sink",
+    )
+    generator = CommercialDataGenerator(seed=2004)
+    events = [
+        Event(payload=block, channel_id="bench", sequence=i + 1, timestamp=float(i))
+        for i, block in enumerate(generator.stream(CHAOS_EVENT_SIZE, CHAOS_EVENT_COUNT))
+    ]
+    clock = VirtualClock()
+    wire = ChaosWire(
+        plan, link=SimulatedLink(PAPER_LINKS["100mbit"], seed=2), clock=clock
+    )
+    delivered = []
+    reliable = ReliableEventLink(
+        wire,
+        delivered.append,
+        retry=RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.2, seed=CHAOS_SEED),
+    )
+    for event in events:
+        reliable.send(event)
+    missing = reliable.close()
+    if missing or [e.payload for e in delivered] != [e.payload for e in events]:
+        raise AssertionError("chaos recovery was not byte-exact; run scripts/chaos.py")
+
+    report.record(
+        "chaos_recovery.events", len(events), unit="events",
+        better="near", tolerance=0.0, kind="timing",
+    )
+    report.record(
+        "chaos_recovery.faults_injected", sum(plan.counts.values()), unit="faults",
+        better="near", tolerance=0.25, kind="timing",
+    )
+    report.record(
+        "chaos_recovery.retries", reliable.retries, unit="retries",
+        better="lower", tolerance=0.25, kind="timing",
+    )
+    report.record(
+        "chaos_recovery.frames_rejected", reliable.frames_rejected, unit="frames",
+        better="near", tolerance=0.25, kind="timing",
+    )
+    report.record(
+        "chaos_recovery.recovery_seconds", reliable.recovery_seconds, unit="seconds",
+        better="lower", tolerance=0.25, kind="timing",
+    )
+    report.record(
+        "chaos_recovery.virtual_seconds", clock.now(), unit="seconds",
+        better="lower", tolerance=0.25, kind="timing",
+    )
+
+
 def build_report() -> BenchReport:
     report = BenchReport(
         metadata={
@@ -237,11 +315,18 @@ def build_report() -> BenchReport:
                 "queue_depth": POOL_QUEUE_DEPTH,
                 "method": "burrows-wheeler",
             },
+            "chaos": {
+                "event_count": CHAOS_EVENT_COUNT,
+                "event_size": CHAOS_EVENT_SIZE,
+                "seed": CHAOS_SEED,
+                "plan": "bench-kitchen-sink",
+            },
         }
     )
     fig01_decision_sweep(report)
     fig08_replay(report)
     pool_throughput(report)
+    chaos_recovery(report)
     return report
 
 

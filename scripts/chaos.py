@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Seeded chaos gate: byte-exact recovery under a matrix of fault plans.
+
+Replays fig08-style traffic — commercial blocks, per-block compression
+with a cycling method — through the hostile middleware wire
+(:class:`~repro.middleware.chaos.ChaosWire` +
+:class:`~repro.middleware.chaos.ReliableEventLink`) under a matrix of
+seeded :class:`~repro.netsim.faults.FaultPlan`\\ s, and through the
+simulation path (:class:`~repro.netsim.faults.FaultyLink` wrapping the
+fig08 replay).  For every (plan, seed) cell the gate asserts:
+
+* **byte-exact recovery** — every delivered payload equals the payload
+  sent, in sequence order, with nothing missing;
+* **bounded retries** — total retries stay within the per-event budget
+  of the :class:`~repro.netsim.faults.RetryPolicy`;
+* **determinism** — a second identical run produces the identical
+  outcome tuple (retries, rejections, duplicates, virtual clock);
+* **CRC proof** — the corrupting plans must show ``frames_rejected > 0``
+  (damage is rejected by the frame checksum, never decoded).
+
+Every fault/retry/recovery event is written to a JSON-lines trace (CI
+uploads it as an artifact when the gate fails).
+
+Usage::
+
+    python scripts/chaos.py                      # run the full matrix
+    python scripts/chaos.py --trace chaos.jsonl  # also write the trace
+    python scripts/chaos.py --list               # show the plan matrix
+
+Exit status 0 means every cell recovered; 1 lists each failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.compression.registry import get_codec  # noqa: E402
+from repro.data.commercial import CommercialDataGenerator  # noqa: E402
+from repro.experiments.config import ReplayConfig  # noqa: E402
+from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
+from repro.middleware.events import Event  # noqa: E402
+from repro.netsim.clock import VirtualClock  # noqa: E402
+from repro.netsim.faults import FaultPlan, FaultRule, RetryPolicy  # noqa: E402
+from repro.netsim.link import PAPER_LINKS, SimulatedLink  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.trace import TraceWriter  # noqa: E402
+
+#: fig08-style traffic: commercial blocks, methods cycling like the
+#: adaptive selector does across the load trace.
+BLOCK_SIZE = 8 * 1024
+BLOCK_COUNT = 24
+METHOD_CYCLE = ("lempel-ziv", "burrows-wheeler", "huffman", "none")
+
+#: Every plan runs under each seed; determinism is checked per cell.
+SEEDS = (11, 29)
+
+#: Retry budget: generous enough that every plan below recovers, tight
+#: enough that runaway retry loops fail the gate.
+RETRY = dict(max_attempts=8, base_delay=0.01, multiplier=2.0, max_delay=0.2)
+
+
+def plan_matrix(seed: int) -> List[FaultPlan]:
+    """The fault-plan matrix, freshly instantiated for ``seed``."""
+    return [
+        FaultPlan([], seed=seed, name="clean"),
+        FaultPlan(
+            [FaultRule(kind="drop", probability=0.2)],
+            seed=seed, name="drop-20pct",
+        ),
+        FaultPlan(
+            [FaultRule(kind="corrupt", probability=0.25)],
+            seed=seed, name="corrupt-25pct",
+        ),
+        FaultPlan(
+            [
+                FaultRule(kind="duplicate", probability=0.2),
+                FaultRule(kind="reorder", probability=0.15),
+            ],
+            seed=seed, name="dup-reorder",
+        ),
+        FaultPlan(
+            [
+                FaultRule(kind="drop", first=0, last=3),
+                FaultRule(kind="delay", probability=0.3, delay=0.05),
+            ],
+            seed=seed, name="burst-then-delay",
+        ),
+        FaultPlan(
+            [
+                FaultRule(kind="drop", probability=0.1),
+                FaultRule(kind="corrupt", probability=0.1),
+                FaultRule(kind="duplicate", probability=0.1),
+                FaultRule(kind="reorder", probability=0.1),
+                FaultRule(kind="delay", probability=0.1, delay=0.02),
+            ],
+            seed=seed, name="kitchen-sink",
+        ),
+    ]
+
+
+#: Plans whose runs must prove the CRC rejects damaged frames.
+CORRUPTING_PLANS = ("corrupt-25pct", "kitchen-sink")
+
+
+def fig08_events() -> List[Event]:
+    """Commercial blocks compressed with a cycling method, as events."""
+    generator = CommercialDataGenerator(seed=2004)
+    events = []
+    for index, block in enumerate(generator.stream(BLOCK_SIZE, BLOCK_COUNT)):
+        method = METHOD_CYCLE[index % len(METHOD_CYCLE)]
+        payload = get_codec(method).compress(block)
+        events.append(
+            Event(
+                payload=payload,
+                attributes={"method": method},
+                channel_id="fig08",
+                sequence=index + 1,
+                timestamp=float(index),
+            )
+        )
+    return events
+
+
+def run_cell(
+    plan: FaultPlan, seed: int, events: List[Event], tracer: TraceWriter
+) -> Tuple:
+    """One (plan, seed) run; returns the deterministic outcome tuple."""
+    clock = VirtualClock()
+    link = SimulatedLink(PAPER_LINKS["100mbit"], seed=2)
+    wire = ChaosWire(plan, link=link, clock=clock)
+    delivered: List[Event] = []
+    reliable = ReliableEventLink(
+        wire,
+        delivered.append,
+        retry=RetryPolicy(seed=seed, **RETRY),
+        registry=MetricsRegistry(),
+        tracer=tracer,
+    )
+    attempts = [reliable.send(event) for event in events]
+    missing = reliable.close()
+
+    failures = []
+    if missing:
+        failures.append(f"sequences never delivered: {missing}")
+    got = [(e.sequence, e.payload) for e in delivered]
+    want = [(e.sequence, e.payload) for e in events]
+    if got != want:
+        failures.append(
+            "delivered payloads are not byte-exact/in-order "
+            f"(got {len(got)} events, want {len(want)})"
+        )
+    budget = len(events) * (RETRY["max_attempts"] - 1)
+    if reliable.retries > budget:
+        failures.append(f"retries {reliable.retries} exceed budget {budget}")
+    if max(attempts) > RETRY["max_attempts"]:
+        failures.append(f"an event used {max(attempts)} attempts")
+    if plan.name in CORRUPTING_PLANS and reliable.frames_rejected == 0:
+        failures.append("corrupting plan produced no CRC rejections")
+    if plan.name == "clean" and reliable.retries:
+        failures.append(f"clean plan retried {reliable.retries} times")
+    outcome = (
+        plan.counts.copy(),
+        reliable.retries,
+        reliable.frames_rejected,
+        reliable.duplicates_dropped,
+        reliable.rerequests,
+        round(reliable.recovery_seconds, 9),
+        round(clock.now(), 9),
+        attempts,
+    )
+    return outcome, failures
+
+
+def run_replay_leg(seed: int) -> Tuple:
+    """The simulation path: fig08 replay over a FaultyLink."""
+    config = ReplayConfig(
+        block_count=16,
+        production_interval=0.0,
+        fault_plan=FaultPlan(
+            [
+                FaultRule(kind="drop", probability=0.2),
+                FaultRule(kind="delay", probability=0.2, delay=0.1),
+            ],
+            seed=seed,
+            name="replay-leg",
+        ),
+    )
+    result = run_replay(commercial_blocks(config), config)
+    return (
+        tuple(r.method for r in result.records),
+        result.total_compressed_bytes,
+        round(result.total_time, 9),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", metavar="PATH", default="chaos_trace.jsonl",
+        help="JSON-lines fault/retry/recovery trace (default: chaos_trace.jsonl)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the plan matrix and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for plan in plan_matrix(SEEDS[0]):
+            rules = ", ".join(r.kind for r in plan.rules) or "no rules"
+            print(f"{plan.name:18s} {rules}")
+        return 0
+
+    events = fig08_events()
+    failures: List[str] = []
+    with open(args.trace, "w", encoding="utf-8") as sink:
+        tracer = TraceWriter(sink)
+        for seed in SEEDS:
+            for plan_index, plan in enumerate(plan_matrix(seed)):
+                tracer.event("chaos.cell", plan=plan.name, seed=seed)
+                first, cell_failures = run_cell(plan, seed, events, tracer)
+                # Determinism: an identical fresh run must match exactly.
+                rerun_plan = plan_matrix(seed)[plan_index]
+                second, _ = run_cell(rerun_plan, seed, events, tracer)
+                if first != second:
+                    cell_failures.append("outcome differs between identical runs")
+                counts, retries, rejected, dups, rerequests, _, clock_s, _ = first
+                injected = {k: v for k, v in counts.items() if v}
+                print(
+                    f"plan={plan.name:18s} seed={seed:3d} "
+                    f"injected={sum(counts.values()):3d} retries={retries:3d} "
+                    f"crc_rejected={rejected:3d} dups_dropped={dups:3d} "
+                    f"virtual_s={clock_s:9.3f}  "
+                    f"{'OK' if not cell_failures else 'FAIL'}"
+                )
+                tracer.event(
+                    "chaos.cell_result",
+                    plan=plan.name,
+                    seed=seed,
+                    injected=injected,
+                    retries=retries,
+                    frames_rejected=rejected,
+                    duplicates_dropped=dups,
+                    rerequests=rerequests,
+                    ok=not cell_failures,
+                )
+                failures.extend(
+                    f"[{plan.name} seed={seed}] {f}" for f in cell_failures
+                )
+        # Simulation leg: the fig08 replay itself over a FaultyLink.
+        for seed in SEEDS:
+            first = run_replay_leg(seed)
+            second = run_replay_leg(seed)
+            ok = first == second
+            print(
+                f"plan=replay-leg        seed={seed:3d} methods={len(first[0]):3d} "
+                f"virtual_s={first[2]:9.3f}  {'OK' if ok else 'FAIL'}"
+            )
+            tracer.event(
+                "chaos.replay_leg", seed=seed, total_time=first[2], ok=ok
+            )
+            if not ok:
+                failures.append(
+                    f"[replay-leg seed={seed}] replay outcome not deterministic"
+                )
+
+    print(f"trace -> {args.trace}")
+    if failures:
+        print(f"\nchaos gate FAILED ({len(failures)} assertion(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("chaos gate OK: byte-exact recovery under every seeded plan")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,33 @@
 #!/usr/bin/env bash
 # Repository check gate: invariants + lint + tier-1 tests.
 #
-# Usage: scripts/check.sh [--fast] [--bench-smoke]
+# Gate order (cheapest first, so failures surface fast):
+#   1. invariant greps   — clock reads, struct framing, stray print()
+#   2. ruff lint         — style/import hygiene (skipped if not installed)
+#   3. tier-1 tests      — the full pytest suite (skipped by --fast)
+#   4. bench smoke       — deterministic subset vs BENCH_baseline.json
+#                          (opt-in via --bench-smoke; same job CI runs)
+#   5. chaos gate        — seeded fault-plan matrix with byte-exact
+#                          recovery + CRC-rejection proof (opt-in via
+#                          --chaos; same job CI runs)
+#
+# Usage: scripts/check.sh [--fast] [--bench-smoke] [--chaos]
 #   --fast         skip the test suite (invariant grep + lint only)
 #   --bench-smoke  also run the deterministic bench subset and gate it
 #                  against BENCH_baseline.json (same job CI runs)
+#   --chaos        also run scripts/chaos.py (fault injection + recovery)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 fast=0
 bench_smoke=0
+chaos=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --bench-smoke) bench_smoke=1 ;;
+        --chaos) chaos=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -85,4 +98,10 @@ fi
 if [ "$bench_smoke" -eq 1 ]; then
     echo "== bench smoke (deterministic subset vs BENCH_baseline.json)"
     python scripts/bench_smoke.py
+fi
+
+# --- Chaos gate -----------------------------------------------------------------
+if [ "$chaos" -eq 1 ]; then
+    echo "== chaos gate (seeded fault plans, byte-exact recovery)"
+    python scripts/chaos.py --trace chaos_trace.jsonl
 fi

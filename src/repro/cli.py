@@ -22,8 +22,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .compression.base import CorruptStreamError
 from .compression.registry import available_codecs, get_codec
-from .compression.varint import read_varint, write_varint
+from .compression.varint import read_canonical_varint, write_varint
 from .data.analysis import profile, recommended_methods
 
 _ENVELOPE_MAGIC = b"RPRZ"
@@ -41,7 +42,10 @@ def _wrap(method: str, payload: bytes) -> bytes:
 def _unwrap(data: bytes) -> tuple:
     if data[: len(_ENVELOPE_MAGIC)] != _ENVELOPE_MAGIC:
         raise SystemExit("error: input is not a repro envelope")
-    length, offset = read_varint(data, len(_ENVELOPE_MAGIC))
+    try:
+        length, offset = read_canonical_varint(data, len(_ENVELOPE_MAGIC))
+    except CorruptStreamError as exc:
+        raise SystemExit(f"error: corrupt envelope ({exc})") from exc
     method = bytes(data[offset : offset + length]).decode()
     return method, data[offset + length :]
 
@@ -108,6 +112,11 @@ def _replay_result(args: argparse.Namespace, observers=None):
     from .experiments.config import ReplayConfig
     from .experiments.replay import commercial_blocks, molecular_blocks, run_replay
 
+    plan = None
+    if getattr(args, "faults", None):
+        from .netsim.faults import FaultPlan
+
+        plan = FaultPlan.load(args.faults)
     config = ReplayConfig(
         link=args.link,
         block_count=args.blocks,
@@ -116,13 +125,14 @@ def _replay_result(args: argparse.Namespace, observers=None):
         pipelined=args.pipelined,
         workers=args.workers,
         pool_mode=args.pool_mode,
+        fault_plan=plan,
     )
     blocks = (
         commercial_blocks(config)
         if args.dataset == "commercial"
         else molecular_blocks(config)
     )
-    return run_replay(blocks, config, observers=observers)
+    return run_replay(blocks, config, observers=observers), plan
 
 
 def _write_replay_trace(path: str, args: argparse.Namespace, result) -> None:
@@ -154,7 +164,7 @@ def _write_replay_trace(path: str, args: argparse.Namespace, result) -> None:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    result = _replay_result(args)
+    result, plan = _replay_result(args)
     if args.trace:
         _write_replay_trace(args.trace, args, result)
         print(f"trace -> {args.trace}")
@@ -162,6 +172,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
     for key, value in result.summary().items():
         print(f"  {key:26s} {value:12.3f}")
     print(f"  methods: {result.method_counts()}")
+    if plan is not None:
+        injected = {k: v for k, v in plan.counts.items() if v}
+        print(
+            f"  faults: plan={plan.name or args.faults} seed={plan.seed} "
+            f"injected={injected or 'none'} (recovery charged to virtual time)"
+        )
     if args.series:
         previous = None
         for t, code in result.method_series():
@@ -223,7 +239,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     telemetry = BlockTelemetry(registry=registry, channel=args.dataset)
-    result = _replay_result(args, observers=[telemetry])
+    result, _ = _replay_result(args, observers=[telemetry])
     if args.trace:
         _write_replay_trace(args.trace, args, result)
     print(registry.to_json(indent=2))
@@ -318,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker pool strategy when --workers > 1",
         )
         p.add_argument("--trace", metavar="PATH", help="write a JSON-lines block trace to PATH")
+        p.add_argument(
+            "--faults",
+            metavar="PLAN.json",
+            help="inject faults from a seeded FaultPlan JSON file (drop/duplicate/"
+            "reorder/delay/corrupt); recovery costs land in the simulated times",
+        )
 
     p = sub.add_parser("replay", help="run a simulated adaptive stream")
     add_replay_options(p)

@@ -2,9 +2,29 @@
 
 Before this module existed the tree carried three incompatible frame
 formats (block streaming, event transport, raw TCP length prefixes).
-Now there is exactly one frame layout and exactly one frame parser::
+Now there is exactly one frame layout and exactly one frame parser.
 
-    varint header_length | header | varint payload_length | payload
+Two frame versions coexist on the wire:
+
+* **v1 (legacy)** — ``varint header_length | header | varint
+  payload_length | payload``.  Still parsed so fixtures and streams
+  recorded before checksums existed keep working.
+* **v2 (checked)** — the same body wrapped in an integrity envelope::
+
+      0x80 0x00 | varint flags | varint header_length | header
+                | varint payload_length | payload | crc32 (4 bytes LE)
+
+  The two-byte marker is an *over-long varint encoding of zero*, which
+  the parser rejects as non-canonical — so no valid v1 frame can start
+  with it, and the versions need no out-of-band negotiation.  ``flags``
+  bit 0 (:data:`FLAG_CRC32`) says a little-endian CRC32 of
+  ``header + payload`` trails the frame; unknown flag bits are a parse
+  error, which is how future versions stay detectable.  A checksum
+  mismatch raises :class:`~repro.compression.base.CorruptStreamError`
+  instead of handing corrupt bytes to a codec.
+
+:func:`encode_frame` emits v2 by default; pass ``check=False`` for the
+legacy layout.
 
 Only the *interpretation* of the header belongs to the producing layer:
 
@@ -21,12 +41,15 @@ recoverable by any other layer's parser.
 Hostile input is bounded: a frame whose declared header or payload
 length exceeds the decoder's limits raises
 :class:`~repro.compression.base.CorruptStreamError` immediately instead
-of buffering indefinitely (``max_frame_size`` defaults to 16 MiB).
+of buffering indefinitely (``max_frame_size`` defaults to 16 MiB), and
+over-long (non-canonical) varints are rejected so a corrupted length
+byte cannot alias to a valid shorter frame.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 from .base import CorruptStreamError
@@ -35,6 +58,8 @@ from .varint import varint_size, write_varint
 __all__ = [
     "DEFAULT_MAX_FRAME_SIZE",
     "DEFAULT_MAX_HEADER_SIZE",
+    "FLAG_CRC32",
+    "FRAME_V2_MAGIC",
     "MAX_METHOD_NAME",
     "Frame",
     "FrameDecoder",
@@ -55,15 +80,30 @@ DEFAULT_MAX_HEADER_SIZE = 1024 * 1024
 #: Longest plausible codec method name carried in a block-stream header.
 MAX_METHOD_NAME = 64
 
+#: Version marker opening a v2 frame: an over-long varint encoding of
+#: zero, invalid under canonical parsing, hence unambiguous.
+FRAME_V2_MAGIC = b"\x80\x00"
+
+#: v2 flags bit: a little-endian CRC32 of header+payload trails the frame.
+FLAG_CRC32 = 0x01
+
+_KNOWN_FLAGS = FLAG_CRC32
+_CRC_SIZE = 4
+
 _Buffer = Union[bytes, bytearray, memoryview]
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One parsed frame: opaque header bytes plus the payload."""
+    """One parsed frame: opaque header bytes plus the payload.
+
+    ``checked`` records whether the frame carried (and passed) a CRC32 —
+    wire-format bookkeeping, deliberately excluded from equality.
+    """
 
     header: bytes
     payload: bytes
+    checked: bool = field(default=False, compare=False)
 
     @property
     def method(self) -> str:
@@ -77,35 +117,45 @@ class Frame:
 
     @property
     def wire_size(self) -> int:
-        """Encoded size of this frame including the varint prefixes."""
-        return (
+        """Encoded size of this frame including prefixes (and CRC if checked)."""
+        body = (
             varint_size(len(self.header))
             + len(self.header)
             + varint_size(len(self.payload))
             + len(self.payload)
         )
+        if self.checked:
+            return len(FRAME_V2_MAGIC) + varint_size(FLAG_CRC32) + body + _CRC_SIZE
+        return body
 
 
-def encode_frame(header: bytes, payload: bytes) -> bytes:
-    """Encode one frame: ``varint len | header | varint len | payload``."""
+def encode_frame(header: bytes, payload: bytes, check: bool = True) -> bytes:
+    """Encode one frame; ``check=True`` (default) adds the v2 CRC32 envelope."""
     out = bytearray()
+    if check:
+        out += FRAME_V2_MAGIC
+        write_varint(out, FLAG_CRC32)
     write_varint(out, len(header))
     out += header
     write_varint(out, len(payload))
     out += payload
+    if check:
+        crc = zlib.crc32(header)
+        crc = zlib.crc32(payload, crc)
+        out += crc.to_bytes(_CRC_SIZE, "little")
     return bytes(out)
 
 
-def encode_block_frame(method: str, payload: bytes) -> bytes:
+def encode_block_frame(method: str, payload: bytes, check: bool = True) -> bytes:
     """Encode a block-stream frame whose header is the codec method name."""
     name = method.encode("ascii")
     if not name or len(name) > MAX_METHOD_NAME:
         raise ValueError(f"method name {method!r} is not frameable")
-    return encode_frame(name, payload)
+    return encode_frame(name, payload, check=check)
 
 
 def _read_varint_partial(data: _Buffer, position: int) -> Optional[Tuple[int, int]]:
-    """Varint read that distinguishes *incomplete* (None) from *malformed*."""
+    """Canonical varint read distinguishing *incomplete* (None) from *malformed*."""
     result = 0
     shift = 0
     while True:
@@ -115,6 +165,8 @@ def _read_varint_partial(data: _Buffer, position: int) -> Optional[Tuple[int, in
         position += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if shift > 0 and byte == 0x00:
+                raise CorruptStreamError("non-canonical (over-long) varint in frame")
             return result, position
         shift += 7
         if shift > 63:
@@ -127,15 +179,31 @@ def parse_frame(
     max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
     max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
 ) -> Optional[Tuple[Frame, int]]:
-    """THE frame parser (the only one in the tree).
+    """THE frame parser (the only one in the tree); accepts v1 and v2.
 
     Returns ``(frame, next_offset)``, or ``None`` when ``data`` holds
     only a prefix of a frame.  Raises
     :class:`~repro.compression.base.CorruptStreamError` when the input
-    cannot be a valid frame — malformed varints or declared lengths
-    beyond ``max_header_size`` / ``max_frame_size``.
+    cannot be a valid frame — malformed or non-canonical varints,
+    declared lengths beyond ``max_header_size`` / ``max_frame_size``,
+    unknown v2 flags, or a CRC32 mismatch.
     """
-    parsed = _read_varint_partial(data, offset)
+    flags = 0
+    position = offset
+    if position < len(data) and data[position] == FRAME_V2_MAGIC[0]:
+        if position + 1 >= len(data):
+            return None  # could be the v2 magic or a multi-byte varint
+        if data[position + 1] == FRAME_V2_MAGIC[1]:
+            position += len(FRAME_V2_MAGIC)
+            parsed = _read_varint_partial(data, position)
+            if parsed is None:
+                return None
+            flags, position = parsed
+            if flags & ~_KNOWN_FLAGS:
+                raise CorruptStreamError(
+                    f"unknown frame flags {flags:#x} (decoder too old?)"
+                )
+    parsed = _read_varint_partial(data, position)
     if parsed is None:
         return None
     header_length, position = parsed
@@ -157,9 +225,22 @@ def parse_frame(
         )
     if len(data) - position < payload_length:
         return None
+    payload_end = position + payload_length
     header = bytes(data[header_end - header_length : header_end])
-    payload = bytes(data[position : position + payload_length])
-    return Frame(header=header, payload=payload), position + payload_length
+    payload = bytes(data[position:payload_end])
+    checked = bool(flags & FLAG_CRC32)
+    if checked:
+        if len(data) - payload_end < _CRC_SIZE:
+            return None
+        declared = int.from_bytes(data[payload_end : payload_end + _CRC_SIZE], "little")
+        computed = zlib.crc32(payload, zlib.crc32(header))
+        if declared != computed:
+            raise CorruptStreamError(
+                f"frame checksum mismatch (declared {declared:#010x}, "
+                f"computed {computed:#010x})"
+            )
+        payload_end += _CRC_SIZE
+    return Frame(header=header, payload=payload, checked=checked), payload_end
 
 
 def decode_frame(
@@ -183,7 +264,9 @@ class FrameDecoder:
     Buffering is bounded by the limits: a frame whose declared lengths
     exceed them raises immediately, so a corrupt or hostile stream can
     never make the decoder hold more than roughly
-    ``max_header_size + max_frame_size`` bytes.
+    ``max_header_size + max_frame_size`` bytes.  Checked (v2) and legacy
+    (v1) frames may be interleaved; ``frames_rejected`` counts feeds
+    that raised on corrupt input.
     """
 
     def __init__(
@@ -197,26 +280,32 @@ class FrameDecoder:
         self.max_header_size = max_header_size
         self._buffer = bytearray()
         self.frames_decoded = 0
+        self.frames_rejected = 0
 
     def feed(self, data: bytes) -> List[Frame]:
         """Accept bytes; returns every frame completed by them."""
         self._buffer += data
         frames: List[Frame] = []
         offset = 0
-        while True:
-            parsed = parse_frame(
-                self._buffer,
-                offset,
-                max_frame_size=self.max_frame_size,
-                max_header_size=self.max_header_size,
-            )
-            if parsed is None:
-                break
-            frame, offset = parsed
-            frames.append(frame)
-            self.frames_decoded += 1
-        if offset:
-            del self._buffer[:offset]
+        try:
+            while True:
+                parsed = parse_frame(
+                    self._buffer,
+                    offset,
+                    max_frame_size=self.max_frame_size,
+                    max_header_size=self.max_header_size,
+                )
+                if parsed is None:
+                    break
+                frame, offset = parsed
+                frames.append(frame)
+                self.frames_decoded += 1
+        except CorruptStreamError:
+            self.frames_rejected += 1
+            raise
+        finally:
+            if offset:
+                del self._buffer[:offset]
         return frames
 
     @property

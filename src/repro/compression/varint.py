@@ -11,7 +11,7 @@ from typing import Tuple, Union
 
 from .base import CorruptStreamError
 
-__all__ = ["write_varint", "read_varint", "varint_size"]
+__all__ = ["write_varint", "read_varint", "read_canonical_varint", "varint_size"]
 
 _Buffer = Union[bytes, bytearray, memoryview]
 
@@ -46,6 +46,23 @@ def read_varint(data: _Buffer, offset: int) -> Tuple[int, int]:
         shift += 7
         if shift > 63:
             raise CorruptStreamError("varint too large")
+
+
+def read_canonical_varint(data: _Buffer, offset: int) -> Tuple[int, int]:
+    """Like :func:`read_varint`, but reject over-long (non-canonical) encodings.
+
+    LEB128 admits infinitely many encodings of every value by padding with
+    ``0x80 ... 0x00`` continuation groups; :func:`write_varint` only ever
+    emits the shortest one.  A parser that accepts the padded forms lets a
+    single corrupted length byte alias to a valid shorter frame, so wire
+    parsers must call this variant: a multi-byte encoding whose final
+    (terminating) byte is ``0x00`` contributes no value bits and raises
+    :class:`~repro.compression.base.CorruptStreamError`.
+    """
+    value, end = read_varint(data, offset)
+    if end - offset > 1 and data[end - 1] == 0x00:
+        raise CorruptStreamError("non-canonical (over-long) varint")
+    return value, end
 
 
 def varint_size(value: int) -> int:

@@ -160,12 +160,19 @@ class DecisionInputs:
 
 @dataclass(frozen=True)
 class Decision:
-    """The selector's output plus its visible reasoning."""
+    """The selector's output plus its visible reasoning.
+
+    ``degraded`` marks a *fallback* decision: the selector refused to act
+    on stale monitor feedback and chose ``none`` defensively (see
+    :class:`~repro.core.policy.AdaptivePolicy`'s ``staleness_horizon``)
+    rather than compress on numbers it no longer trusts.
+    """
 
     method: str
     lz_reduce_time: float
     sending_time: float
     effective_ratio: float
+    degraded: bool = False
 
     @property
     def compresses(self) -> bool:

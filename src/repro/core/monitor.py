@@ -106,6 +106,15 @@ class ReducingSpeedMonitor:
         value = self._speeds.value(codec=codec_name)
         return value if value is not None else math.inf
 
+    def observations(self, codec_name: str) -> int:
+        """Total speed observations folded for ``codec_name``.
+
+        A consumer that records this count per decision can detect *stale*
+        feedback — the count stops moving when the measurement path breaks
+        — which is what drives the selector's degraded fallback.
+        """
+        return int(self._observations.value(codec=codec_name))
+
     def ratio(self, codec_name: str) -> Optional[float]:
         """Smoothed compression ratio, or None if never observed."""
         return self._ratios.value(codec=codec_name)

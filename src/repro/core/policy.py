@@ -8,6 +8,7 @@ middleware, and the headline end-to-end benchmark treat them uniformly.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Protocol
 
 from ..compression.registry import get_codec
@@ -15,7 +16,11 @@ from .decision import Decision, DecisionInputs, DecisionThresholds, select_metho
 from .monitor import ReducingSpeedMonitor
 from .sampler import SampleResult
 
-__all__ = ["CompressionPolicy", "AdaptivePolicy", "FixedPolicy"]
+__all__ = ["CompressionPolicy", "AdaptivePolicy", "FixedPolicy", "DEGRADED_COUNTER"]
+
+#: Counter incremented (on the monitor's registry) for every degraded
+#: fallback decision.
+DEGRADED_COUNTER = "repro_selector_degraded_total"
 
 
 class CompressionPolicy(Protocol):
@@ -33,10 +38,43 @@ class CompressionPolicy(Protocol):
 
 
 class AdaptivePolicy:
-    """The paper's table-driven selector (§2.5)."""
+    """The paper's table-driven selector (§2.5).
 
-    def __init__(self, thresholds: DecisionThresholds = DecisionThresholds()) -> None:
+    ``staleness_horizon`` arms the degradation contract: the policy
+    watches the monitor's observation counter, and once it has made more
+    than ``staleness_horizon`` consecutive decisions without a single
+    fresh lempel-ziv observation arriving, the feedback loop is
+    considered broken — the selector stops trusting its numbers, falls
+    back to ``none`` (marked ``degraded=True``), and increments
+    :data:`DEGRADED_COUNTER` on the monitor's registry.  The fallback
+    clears itself the moment fresh observations resume.  ``None``
+    (default) disables the horizon entirely, preserving the paper's
+    always-optimistic behaviour.
+    """
+
+    def __init__(
+        self,
+        thresholds: DecisionThresholds = DecisionThresholds(),
+        staleness_horizon: Optional[int] = None,
+    ) -> None:
+        if staleness_horizon is not None and staleness_horizon < 1:
+            raise ValueError("staleness_horizon must be positive (or None)")
         self.thresholds = thresholds
+        self.staleness_horizon = staleness_horizon
+        self.degraded_decisions = 0
+        self._last_observations: Optional[int] = None
+        self._stale_decisions = 0
+
+    def _feedback_is_stale(self, monitor: ReducingSpeedMonitor) -> bool:
+        if self.staleness_horizon is None:
+            return False
+        observed = monitor.observations("lempel-ziv")
+        if self._last_observations is not None and observed == self._last_observations:
+            self._stale_decisions += 1
+        else:
+            self._stale_decisions = 0
+        self._last_observations = observed
+        return self._stale_decisions > self.staleness_horizon
 
     def choose(
         self,
@@ -45,6 +83,19 @@ class AdaptivePolicy:
         monitor: ReducingSpeedMonitor,
         sample: Optional[SampleResult],
     ) -> Decision:
+        if self._feedback_is_stale(monitor):
+            self.degraded_decisions += 1
+            monitor.registry.counter(
+                DEGRADED_COUNTER,
+                help="selector fell back to 'none' on stale monitor feedback",
+            ).inc()
+            return Decision(
+                method="none",
+                lz_reduce_time=math.nan,
+                sending_time=sending_time,
+                effective_ratio=1.0,
+                degraded=True,
+            )
         inputs = DecisionInputs(
             block_size=block_size,
             sending_time=sending_time,

@@ -10,6 +10,7 @@ dataset block counts — see DESIGN.md §3 for the back-solving).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["ReplayConfig", "FIG8_CONFIG", "FIG11_CONFIG", "HEADLINE_CONFIG"]
 
@@ -43,6 +44,13 @@ class ReplayConfig:
     #: output identical at any worker count, so this only buys wall clock.
     workers: int = 1
     pool_mode: str = "processes"
+    #: Fault injection: a :class:`~repro.netsim.faults.FaultPlan`, or a
+    #: path to its JSON form, or None (default — the clean wire every
+    #: figure replay uses; faults are strictly opt-in so baseline CRCs
+    #: never move).  When set, the replay link is wrapped in a
+    #: :class:`~repro.netsim.faults.FaultyLink` and recovery costs land
+    #: in the simulated transfer times.
+    fault_plan: Optional[object] = None
 
 
 #: Figures 8, 9, 10: commercial data paced across the whole 160 s trace.

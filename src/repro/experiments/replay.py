@@ -24,6 +24,7 @@ from ..core.policy import CompressionPolicy
 from ..data.commercial import CommercialDataGenerator
 from ..data.molecular import MolecularDataGenerator
 from ..netsim.cpu import DEFAULT_COSTS, SUN_FIRE, CpuModel
+from ..netsim.faults import FaultPlan, FaultyLink, RetryPolicy
 from ..netsim.link import PAPER_LINKS, SimulatedLink
 from ..netsim.loadtrace import LoadTrace, mbone_trace
 from .config import FIG8_CONFIG, FIG11_CONFIG, MBONE_SCALE, TRACE_DURATION, ReplayConfig
@@ -79,6 +80,13 @@ def run_replay(
         seed=config.link_seed,
         congestion_per_connection=config.congestion_per_connection,
     )
+    if config.fault_plan is not None:
+        plan = (
+            config.fault_plan
+            if isinstance(config.fault_plan, FaultPlan)
+            else FaultPlan.load(str(config.fault_plan))
+        )
+        link = FaultyLink(link, plan, retry=RetryPolicy(seed=plan.seed))
     pipeline = AdaptivePipeline(
         policy=policy,
         block_size=config.block_size,

@@ -14,6 +14,7 @@ from .attributes import (
     QualityAttributes,
 )
 from .channels import ChannelError, EventChannel, Subscription
+from .chaos import ChaosWire, DeliveryError, ReliableEventLink
 from .echo import AdaptiveSubscriber, DeliveryRecord, EchoSystem, SamplingPublisher
 from .events import Event
 from .attributes import ATTR_COMPRESSION_PARAMETERS
@@ -32,6 +33,7 @@ from .transport import (
     ATTR_TRANSPORT_RETRANSMISSIONS,
     ATTR_TRANSPORT_SECONDS,
     ATTR_WIRE_SIZE,
+    RetryPolicy,
     RudpBridge,
     TransportBridge,
     TransportStats,
@@ -54,8 +56,10 @@ __all__ = [
     "ChannelMonitor",
     "ChannelServer",
     "ChannelQuality",
+    "ChaosWire",
     "CompressionHandler",
     "DecompressionHandler",
+    "DeliveryError",
     "DeliveryRecord",
     "EchoSystem",
     "Event",
@@ -64,8 +68,10 @@ __all__ = [
     "Handler",
     "OrderedReassembly",
     "QualityAttributes",
+    "ReliableEventLink",
     "RemoteChannel",
     "ReorderingBridge",
+    "RetryPolicy",
     "RudpBridge",
     "SamplingPublisher",
     "Subscription",

@@ -40,6 +40,13 @@ class OrderedReassembly:
     buffer exceeds ``max_pending``, the oldest missing sequence is
     declared lost and delivery resumes after it (counted in ``gaps``) —
     the behaviour a streaming consumer needs on lossy paths.
+
+    On paths with fault injection a buffered fragment can turn out to be
+    damaged after the fact (e.g. its decompression fails even though the
+    frame checksum passed, or an application-level digest mismatches):
+    :meth:`damaged` discards it and asks the sender for a fresh copy
+    through the ``request`` callback, and :meth:`missing` lists the
+    sequence gaps a re-request loop should fill.
     """
 
     def __init__(
@@ -47,6 +54,7 @@ class OrderedReassembly:
         deliver: Callable[[Event], None],
         first_sequence: int = 1,
         max_pending: Optional[int] = None,
+        request: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -54,8 +62,10 @@ class OrderedReassembly:
         self._next = first_sequence
         self._buffer: Dict[int, Event] = {}
         self.max_pending = max_pending
+        self._request = request
         self.delivered = 0
         self.gaps = 0
+        self.rerequested = 0
 
     @property
     def pending(self) -> int:
@@ -84,6 +94,30 @@ class OrderedReassembly:
             self._next += 1
             self.delivered += 1
             self._deliver(event)
+
+    def damaged(self, sequence: int) -> None:
+        """Discard a damaged buffered fragment and re-request it.
+
+        No-op for sequences already released (too late to matter).  The
+        sequence becomes an ordinary gap the sender must refill — the
+        ``request`` callback (when attached) carries the ask.
+        """
+        if sequence < self._next:
+            return
+        self._buffer.pop(sequence, None)
+        self.rerequested += 1
+        if self._request is not None:
+            self._request(sequence)
+
+    def missing(self) -> List[int]:
+        """Sequence numbers a re-request loop should fill (current gaps)."""
+        if not self._buffer:
+            return []
+        return [
+            sequence
+            for sequence in range(self._next, max(self._buffer))
+            if sequence not in self._buffer
+        ]
 
     def flush(self) -> List[int]:
         """Release everything buffered (in order), returning missing seqs."""

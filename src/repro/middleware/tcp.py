@@ -46,6 +46,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..compression.base import CorruptStreamError
 from ..compression.framing import Frame, FrameDecoder, encode_frame
+from ..netsim.faults import RetryPolicy
 from ..obs.metrics import MetricsRegistry
 from .attributes import ATTR_COMPRESSION_METHOD
 from .channels import EventChannel, Subscription
@@ -135,6 +136,12 @@ class ChannelServer:
                 connection, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
+            if not self._running:
+                # close() raced with a blocked accept(2): the kernel kept
+                # the listening socket alive for the in-flight syscall, so
+                # a dial can still land here — refuse it.
+                connection.close()
+                return
             thread = threading.Thread(
                 target=self._serve_client, args=(connection,), daemon=True
             )
@@ -201,13 +208,31 @@ class ChannelServer:
         """Stop accepting and drop the listener."""
         self._running = False
         try:
+            # Wake a blocked accept(2) *before* closing: close() alone
+            # leaves the kernel socket accepting while the syscall holds
+            # its reference.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._listener.close()
         except OSError:
             pass
 
 
 class RemoteChannel:
-    """Client-side mirror of a channel served by :class:`ChannelServer`."""
+    """Client-side mirror of a channel served by :class:`ChannelServer`.
+
+    With ``reconnect=True`` a dropped connection is not fatal: the reader
+    thread re-dials the server under ``retry`` (capped exponential
+    backoff with deterministic jitter) and **resubscribes** — the
+    subscription handshake is part of every connection attempt, so a
+    recovered client keeps receiving events with no caller involvement.
+    Events published while disconnected are not replayed (channels have
+    no history); recovery restores the *subscription*, and reconnect
+    counts are observable via ``reconnects`` and the
+    ``repro_tcp_reconnects_total`` counter.
+    """
 
     def __init__(
         self,
@@ -216,20 +241,20 @@ class RemoteChannel:
         channel_id: str,
         timeout: float = 5.0,
         registry: Optional[MetricsRegistry] = None,
+        reconnect: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.registry = registry
         self._channel_id = channel_id
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._socket.settimeout(timeout)
-        self._frames = FrameReader(self._socket)
-        _send_frame(self._socket, channel_id.encode())
-        response = self._frames.next_frame()
-        if response is None or response.payload != b"OK":
-            self._socket.close()
-            refusal = None if response is None else response.payload
-            raise ConnectionError(
-                f"subscription to {channel_id!r} refused: {refusal!r}"
-            )
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect = reconnect
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=5, base_delay=0.05, max_delay=0.5
+        )
+        self.reconnects = 0
+        self._socket, self._frames = self._connect()
         self.mirror = EventChannel(f"{channel_id}@tcp")
         self.events_received = 0
         self.wire_bytes = 0
@@ -237,15 +262,63 @@ class RemoteChannel:
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
 
+    def _connect(self) -> Tuple[socket.socket, FrameReader]:
+        """Dial and subscribe (the handshake IS the resubscription)."""
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        sock.settimeout(self._timeout)
+        frames = FrameReader(sock)
+        _send_frame(sock, self._channel_id.encode())
+        response = frames.next_frame()
+        if response is None or response.payload != b"OK":
+            sock.close()
+            refusal = None if response is None else response.payload
+            raise ConnectionError(
+                f"subscription to {self._channel_id!r} refused: {refusal!r}"
+            )
+        return sock, frames
+
+    def _try_reconnect(self) -> bool:
+        """Re-dial + resubscribe under the retry policy (reader thread)."""
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if self._closed.is_set():
+                return False
+            try:
+                self._socket, self._frames = self._connect()
+            except (OSError, ConnectionError):
+                if attempt >= self.retry.max_attempts:
+                    return False
+                # Real wall-clock wait: this is the deployment transport,
+                # deliberately outside the virtual-clock discipline (like
+                # the time.monotonic arrival stamps below).
+                time.sleep(self.retry.backoff(attempt))
+                continue
+            self.reconnects += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_tcp_reconnects_total",
+                    help="successful reconnect+resubscribe recoveries",
+                ).inc(channel=self._channel_id)
+            return True
+        return False
+
     def _read_loop(self) -> None:
         previous = time.monotonic()
         while not self._closed.is_set():
             try:
                 frame = self._frames.next_frame()
             except (OSError, ConnectionError):
-                break
+                frame = None
             if frame is None:
-                break
+                if (
+                    self._closed.is_set()
+                    or not self._reconnect
+                    or not self._try_reconnect()
+                ):
+                    break
+                previous = time.monotonic()
+                continue
             now = time.monotonic()
             try:
                 event = WireFormat.from_frame(frame).with_attributes(

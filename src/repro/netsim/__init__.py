@@ -8,6 +8,16 @@ from .bandwidth import (
     WindowedBandwidthEstimator,
 )
 from .clock import Clock, VirtualClock, WallClock
+from .faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultExhaustedError,
+    FaultPlan,
+    FaultRule,
+    FaultyLink,
+    FaultyPacketLink,
+    RetryPolicy,
+)
 from .cpu import (
     DEFAULT_COSTS,
     SUN_FIRE,
@@ -37,12 +47,20 @@ __all__ = [
     "DEFAULT_COSTS",
     "EwmaBandwidthEstimator",
     "EXTRA_LINKS",
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultExhaustedError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyLink",
+    "FaultyPacketLink",
     "LinkSpec",
     "LoadTrace",
     "MEGABYTE",
     "PAPER_LINKS",
     "PacketLink",
     "RateControlledTransport",
+    "RetryPolicy",
     "SUN_FIRE",
     "SimulatedLink",
     "TransferReport",

@@ -13,6 +13,8 @@ import pytest
 from repro.compression.base import CorruptStreamError
 from repro.compression.framing import (
     DEFAULT_MAX_FRAME_SIZE,
+    FLAG_CRC32,
+    FRAME_V2_MAGIC,
     MAX_METHOD_NAME,
     Frame,
     FrameDecoder,
@@ -132,6 +134,75 @@ class TestParseFrame:
         write_varint(hostile, 2**40)
         with pytest.raises(CorruptStreamError):
             parse_frame(bytes(hostile))
+
+
+class TestCheckedFrames:
+    """The v2 integrity envelope: magic, flags, CRC32."""
+
+    def test_default_encoding_is_v2(self):
+        wire = encode_frame(b"hdr", b"payload")
+        assert wire[: len(FRAME_V2_MAGIC)] == FRAME_V2_MAGIC
+        frame, offset = decode_frame(wire)
+        assert frame.checked
+        assert offset == len(wire) == frame.wire_size
+
+    def test_legacy_encoding_still_parses(self):
+        wire = encode_frame(b"hdr", b"payload", check=False)
+        assert wire[:1] != FRAME_V2_MAGIC[:1]
+        frame, _ = decode_frame(wire)
+        assert not frame.checked
+        assert (frame.header, frame.payload) == (b"hdr", b"payload")
+
+    def test_checked_excluded_from_equality(self):
+        checked, _ = decode_frame(encode_frame(b"h", b"p"))
+        legacy, _ = decode_frame(encode_frame(b"h", b"p", check=False))
+        assert checked == legacy
+
+    def test_single_corrupt_byte_anywhere_is_rejected(self):
+        wire = encode_frame(b"method", b"payload bytes")
+        # Flip one bit in every position past the envelope prefix; each
+        # must either fail the CRC or corrupt the structure — never
+        # decode silently into different bytes.
+        prefix = len(FRAME_V2_MAGIC) + 1  # magic + flags varint
+        for position in range(prefix, len(wire)):
+            damaged = bytearray(wire)
+            damaged[position] ^= 0xFF
+            with pytest.raises(CorruptStreamError):
+                decode_frame(bytes(damaged))
+
+    def test_unknown_flags_rejected(self):
+        wire = bytearray(encode_frame(b"h", b"p"))
+        wire[len(FRAME_V2_MAGIC)] = FLAG_CRC32 | 0x02
+        with pytest.raises(CorruptStreamError, match="unknown frame flags"):
+            parse_frame(bytes(wire))
+
+    def test_incomplete_v2_prefixes_return_none(self):
+        wire = encode_frame(b"header", b"payload-bytes")
+        for cut in range(len(wire)):  # includes lone 0x80 and missing CRC tail
+            assert parse_frame(wire[:cut]) is None
+
+    def test_v1_and_v2_interleave_in_one_stream(self):
+        wire = (
+            encode_frame(b"a", b"1")
+            + encode_frame(b"b", b"22", check=False)
+            + encode_block_frame("huffman", b"333")
+        )
+        frames = FrameDecoder().feed(wire)
+        assert [f.payload for f in frames] == [b"1", b"22", b"333"]
+        assert [f.checked for f in frames] == [True, False, True]
+
+    def test_decoder_counts_rejected_frames(self):
+        damaged = bytearray(encode_frame(b"h", b"payload"))
+        damaged[-1] ^= 0xFF  # break the CRC
+        decoder = FrameDecoder()
+        with pytest.raises(CorruptStreamError):
+            decoder.feed(bytes(damaged))
+        assert decoder.frames_rejected == 1
+
+    def test_overlong_varint_length_rejected(self):
+        # \x81\x00 is a non-canonical two-byte encoding of 1.
+        with pytest.raises(CorruptStreamError, match="non-canonical"):
+            parse_frame(b"\x81\x00" + b"h" + b"\x01" + b"p")
 
 
 class TestFrameDecoder:

@@ -5,7 +5,12 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.compression.base import CorruptStreamError
-from repro.compression.varint import read_varint, varint_size, write_varint
+from repro.compression.varint import (
+    read_canonical_varint,
+    read_varint,
+    varint_size,
+    write_varint,
+)
 
 
 class TestWriteVarint:
@@ -54,6 +59,30 @@ class TestReadVarint:
     def test_oversized_raises(self):
         with pytest.raises(CorruptStreamError):
             read_varint(b"\xff" * 11, 0)
+
+
+class TestReadCanonicalVarint:
+    def test_accepts_canonical_encodings(self):
+        for value in (0, 1, 127, 128, 300, 2**40):
+            buffer = bytearray()
+            write_varint(buffer, value)
+            assert read_canonical_varint(buffer, 0) == (value, len(buffer))
+
+    @pytest.mark.parametrize(
+        "overlong",
+        [b"\x80\x00", b"\x81\x00", b"\xff\x00", b"\x80\x80\x00"],
+    )
+    def test_rejects_overlong_encodings(self, overlong):
+        # Each decodes fine permissively but wastes a terminating 0x00
+        # continuation — a corrupted length must not alias to a shorter
+        # valid value.
+        read_varint(overlong, 0)
+        with pytest.raises(CorruptStreamError, match="non-canonical"):
+            read_canonical_varint(overlong, 0)
+
+    def test_truncated_still_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_canonical_varint(b"\x80", 0)
 
 
 class TestVarintSize:

@@ -51,3 +51,53 @@ class TestAdaptivePolicy:
         poor_sample = SampleResult(4096, 3900, 0.001)  # ratio ~0.95
         decision = policy.choose(128 * 1024, 0.5, monitor, poor_sample)
         assert decision.method == "huffman"
+
+
+class TestStalenessDegradation:
+    def choose(self, policy, monitor):
+        return policy.choose(128 * 1024, 0.5, monitor, None)
+
+    def test_degrades_past_horizon_without_fresh_observations(self):
+        policy = AdaptivePolicy(staleness_horizon=3)
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)
+        decisions = [self.choose(policy, monitor) for _ in range(6)]
+        # Decision 1 sees a fresh count; 2-4 are within the horizon;
+        # 5 and 6 are past it and must fall back.
+        assert [d.degraded for d in decisions] == [False] * 4 + [True] * 2
+        assert decisions[-1].method == "none"
+        assert not decisions[-1].compresses
+        assert policy.degraded_decisions == 2
+
+    def test_fresh_observation_clears_degradation(self):
+        policy = AdaptivePolicy(staleness_horizon=1)
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)
+        self.choose(policy, monitor)  # fresh
+        self.choose(policy, monitor)  # stale 1 (at horizon, still trusted)
+        assert self.choose(policy, monitor).degraded  # stale 2: degraded
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)  # feedback resumes
+        recovered = self.choose(policy, monitor)
+        assert not recovered.degraded
+        assert recovered.compresses
+
+    def test_degraded_metric_emitted_on_monitor_registry(self):
+        policy = AdaptivePolicy(staleness_horizon=1)
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)
+        for _ in range(4):
+            self.choose(policy, monitor)
+        assert (
+            monitor.registry.counter("repro_selector_degraded_total").value() == 2
+        )
+
+    def test_disabled_by_default(self):
+        policy = AdaptivePolicy()
+        monitor = ReducingSpeedMonitor()
+        monitor.observe_raw("lempel-ziv", 140_000, 0.1)
+        decisions = [self.choose(policy, monitor) for _ in range(50)]
+        assert not any(d.degraded for d in decisions)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(staleness_horizon=0)

@@ -1,5 +1,8 @@
 """Integration tests for the real TCP transport (loopback)."""
 
+import socket
+import time
+
 import pytest
 
 from repro.data.commercial import CommercialDataGenerator
@@ -7,6 +10,8 @@ from repro.middleware.channels import EventChannel
 from repro.middleware.events import Event
 from repro.middleware.handlers import CompressionHandler, DecompressionHandler
 from repro.middleware.tcp import ChannelServer, RemoteChannel
+from repro.netsim.faults import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
 
 
 @pytest.fixture()
@@ -99,3 +104,61 @@ class TestTcpTransport:
         remote.close()
         channel.submit(Event(payload=b"late"))
         assert remote.events_received == 0
+
+
+class TestReconnect:
+    def test_reconnect_and_resubscribe_after_connection_cut(self, server):
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        registry = MetricsRegistry()
+        remote = RemoteChannel(
+            host,
+            port,
+            "feed",
+            reconnect=True,
+            registry=registry,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=0.05),
+        )
+        received = []
+        remote.mirror.subscribe(received.append)
+        try:
+            channel.submit(Event(payload=b"before"))
+            assert remote.wait_for(1)
+            # Sever the connection underneath the reader — a network cut,
+            # not a close(); the reader must re-dial and resubscribe.
+            remote._socket.shutdown(socket.SHUT_RDWR)
+            deadline = time.monotonic() + 5.0
+            while remote.reconnects == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert remote.reconnects == 1
+            channel.submit(Event(payload=b"after"))
+            assert remote.wait_for(2)
+            assert [e.payload for e in received] == [b"before", b"after"]
+            assert (
+                registry.counter("repro_tcp_reconnects_total").value(channel="feed")
+                == 1
+            )
+        finally:
+            remote.close()
+
+    def test_reconnect_gives_up_when_server_gone(self):
+        server = ChannelServer()
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(
+            host,
+            port,
+            "feed",
+            reconnect=True,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+        )
+        try:
+            server.close()
+            remote._socket.shutdown(socket.SHUT_RDWR)
+            remote._reader.join(timeout=5.0)
+            assert not remote._reader.is_alive()
+            assert remote.reconnects == 0
+        finally:
+            remote.close()

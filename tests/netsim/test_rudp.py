@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.netsim.faults import FaultPlan, FaultRule, FaultyPacketLink
 from repro.netsim.link import make_link
 from repro.netsim.rudp import (
     DEFAULT_PACKET_SIZE,
@@ -105,6 +106,56 @@ class TestRateControlledTransport:
             RateControlledTransport(packet_link(), floor=0)
         with pytest.raises(ValueError):
             RateControlledTransport(packet_link()).transfer(-1)
+
+    def test_loss_on_final_packet_only(self):
+        """The last (short) packet is the only loss: exactly one
+        retransmission round, carrying exactly that packet, and the
+        tail-packet size is preserved on the retransmit."""
+        size = 10 * DEFAULT_PACKET_SIZE + 100  # 11 packets, short tail
+        plan = FaultPlan([FaultRule(kind="drop", index=10)])  # final packet
+        link = FaultyPacketLink(packet_link(0.0, seed=6), plan)
+        transport = RateControlledTransport(link)
+        report = transport.transfer(size)
+        assert report.size == size
+        assert report.retransmissions == 1
+        assert report.packets == 12  # 11 + the one retransmit
+        assert link.packets_dropped == 1
+        # One lossy round halves once, one clean round adds once.
+        assert transport.rate == pytest.approx(1e6 / 2 + 5e4)
+
+    def test_total_loss_then_recover_aimd(self):
+        """100% loss for several rounds drives the rate to the floor;
+        once the faults stop, every packet still gets through and AIMD
+        climbs back additively."""
+        size = 4 * DEFAULT_PACKET_SIZE
+        # Three full rounds of 4 packets each are annihilated (indices
+        # 0-11 count retransmissions too), then the plan goes quiet.
+        plan = FaultPlan([FaultRule(kind="drop", first=0, last=11)])
+        link = FaultyPacketLink(packet_link(0.0, seed=8), plan)
+        transport = RateControlledTransport(
+            link, initial_rate=1e5, increase=1e4, floor=2e4
+        )
+        report = transport.transfer(size)
+        assert report.size == size
+        assert report.retransmissions == 12  # 3 retransmit rounds of 4
+        assert report.packets == 16
+        # Three halvings from 1e5 (floored at 2e4) then one clean round.
+        assert transport.rate == pytest.approx(max(2e4, 1e5 / 8) + 1e4)
+        # Recovery: the next transfer is fault-free and climbs.
+        before = transport.rate
+        clean = transport.transfer(size)
+        assert clean.retransmissions == 0
+        assert transport.rate == pytest.approx(before + 1e4)
+
+    def test_duplicate_acks_counted_not_delivered_twice(self):
+        size = 6 * DEFAULT_PACKET_SIZE
+        plan = FaultPlan([FaultRule(kind="duplicate", first=0, last=2)])
+        link = FaultyPacketLink(packet_link(0.0, seed=9), plan)
+        transport = RateControlledTransport(link)
+        report = transport.transfer(size)
+        assert report.duplicate_acks == 3
+        assert report.packets == 6  # duplicates are not extra sends
+        assert report.retransmissions == 0  # nor do they trigger repair
 
     def test_compression_reduces_wireless_transfer_time(self, commercial_block):
         """The §1 embedded/tethered scenario: compressing before the lossy

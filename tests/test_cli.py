@@ -24,6 +24,11 @@ class TestEnvelope:
         with pytest.raises(SystemExit):
             _unwrap(b"NOPE rest")
 
+    def test_overlong_varint_length_exits(self):
+        # \x87\x00 is a non-canonical two-byte encoding of 7.
+        with pytest.raises(SystemExit, match="corrupt envelope"):
+            _unwrap(b"RPRZ" + b"\x87\x00" + b"huffmanpayload")
+
 
 class TestPickMethod:
     def test_repetitive_data_picks_dictionary(self):
@@ -108,6 +113,34 @@ class TestReplay:
     def test_molecular_dataset(self, capsys):
         assert main(["replay", "--dataset", "molecular", "--blocks", "6"]) == 0
         assert "molecular" in capsys.readouterr().out
+
+    def test_faults_flag_injects_and_reports(self, tmp_path, capsys):
+        from repro.netsim.faults import FaultPlan, FaultRule
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            [FaultRule(kind="drop", index=2), FaultRule(kind="delay", index=4, delay=0.5)],
+            seed=11,
+            name="cli-smoke",
+        ).dump(str(plan_path))
+        assert main(
+            ["replay", "--blocks", "8", "--interval", "0", "--faults", str(plan_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: plan=cli-smoke seed=11" in out
+        assert "'drop': 1" in out
+        assert "'delay': 1" in out
+
+    def test_faults_flag_is_deterministic(self, tmp_path, capsys):
+        from repro.netsim.faults import FaultPlan, FaultRule
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan([FaultRule(kind="drop", probability=0.3)], seed=5).dump(str(plan_path))
+        args = ["replay", "--blocks", "8", "--interval", "0", "--faults", str(plan_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
 
     def test_trace_writes_one_event_per_block(self, tmp_path, capsys):
         from repro.obs import read_trace
