@@ -10,12 +10,17 @@
 #   5. chaos gate        — seeded fault-plan matrix with byte-exact
 #                          recovery + CRC-rejection proof (opt-in via
 #                          --chaos; same job CI runs)
+#   6. fuzz gate         — regression-corpus replay, conformance kit,
+#                          differential sweep, and a time-boxed seeded
+#                          fuzz run (opt-in via --fuzz; same job CI runs)
 #
-# Usage: scripts/check.sh [--fast] [--bench-smoke] [--chaos]
+# Usage: scripts/check.sh [--fast] [--bench-smoke] [--chaos] [--fuzz]
 #   --fast         skip the test suite (invariant grep + lint only)
 #   --bench-smoke  also run the deterministic bench subset and gate it
 #                  against BENCH_baseline.json (same job CI runs)
 #   --chaos        also run scripts/chaos.py (fault injection + recovery)
+#   --fuzz         also run scripts/fuzz.py (conformance + differential +
+#                  deterministic byte fuzzing, 30s budget)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,11 +28,13 @@ cd "$(dirname "$0")/.."
 fast=0
 bench_smoke=0
 chaos=0
+fuzz=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --bench-smoke) bench_smoke=1 ;;
         --chaos) chaos=1 ;;
+        --fuzz) fuzz=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -104,4 +111,10 @@ fi
 if [ "$chaos" -eq 1 ]; then
     echo "== chaos gate (seeded fault plans, byte-exact recovery)"
     python scripts/chaos.py --trace chaos_trace.jsonl
+fi
+
+# --- Fuzz gate ------------------------------------------------------------------
+if [ "$fuzz" -eq 1 ]; then
+    echo "== fuzz gate (conformance + differential + seeded byte fuzzing)"
+    python scripts/fuzz.py --budget 30s --artifact fuzz_crashes.jsonl
 fi

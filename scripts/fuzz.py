@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Seeded fuzz gate: conformance, differential oracles, and byte fuzzing.
+
+Four stages, each a hard assertion:
+
+* **regression replay** — every entry in the committed crash corpus
+  (``tests/verify/crash_corpus.jsonl``) must now be handled within the
+  decode contract (:data:`~repro.compression.base.ACCEPTABLE_DECODE_ERRORS`);
+* **conformance** — the declarative invariant kit
+  (:mod:`repro.verify.conformance`) passes for every codec in
+  ``available_codecs()``;
+* **differential** — the cross-implementation sweep
+  (:mod:`repro.verify.differential`): zlib/bz2 wire counterparts, scalar
+  vs vectorized hot loops, serial vs parallel containers;
+* **fuzz** — a deterministic coverage-guided mutation run over every
+  decode surface.  The schedule is a pure function of ``--seed``; the
+  wall ``--budget`` can only truncate it (flagged, never a failure).
+
+New crashes are shrunk to minimal reproducers and written to a JSONL
+artifact (CI uploads it when the gate fails); each line replays locally
+with ``repro fuzz --replay PATH``.
+
+Usage::
+
+    python scripts/fuzz.py                       # full gate, 30s fuzz budget
+    python scripts/fuzz.py --budget 90s --seed 7
+    python scripts/fuzz.py --skip-fuzz           # oracle stages only
+
+Exit status 0 means every stage held; 1 lists each failed assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.verify.conformance import (  # noqa: E402
+    conformance_failures,
+    run_conformance,
+)
+from repro.verify.corpus import CorpusGenerator  # noqa: E402
+from repro.verify.differential import (  # noqa: E402
+    differential_failures,
+    run_differential,
+)
+from repro.verify.fuzz import (  # noqa: E402
+    Fuzzer,
+    load_corpus,
+    replay_corpus,
+    write_corpus,
+)
+
+REGRESSION_CORPUS = REPO_ROOT / "tests" / "verify" / "crash_corpus.jsonl"
+
+
+def parse_budget(text: str) -> float:
+    """``30`` / ``30s`` / ``2m`` -> seconds."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    seconds = float(text) * scale
+    if seconds <= 0:
+        raise ValueError("budget must be positive")
+    return seconds
+
+
+def stage_regression(failures: List[str]) -> None:
+    if not REGRESSION_CORPUS.exists():
+        print("regression : no committed corpus, skipping")
+        return
+    entries = load_corpus(str(REGRESSION_CORPUS))
+    still = [
+        (entry, detail)
+        for entry, fails, detail in replay_corpus(entries)
+        if fails
+    ]
+    print(f"regression : {len(entries)} entries, {len(still)} still failing")
+    for entry, detail in still:
+        failures.append(
+            f"[regression {entry.id}] {entry.target}: {detail} "
+            f"(was {entry.error_type})"
+        )
+
+
+def stage_conformance(failures: List[str]) -> None:
+    results = run_conformance()
+    failed = conformance_failures(results)
+    print(f"conformance: {len(results)} checks, {len(failed)} failed")
+    for result in failed:
+        failures.append(
+            f"[conformance] {result.check} {result.codec} {result.case}: "
+            f"{result.detail}"
+        )
+
+
+def stage_differential(failures: List[str]) -> None:
+    results = run_differential()
+    failed = differential_failures(results)
+    print(f"differential: {len(results)} comparisons, {len(failed)} failed")
+    for result in failed:
+        failures.append(
+            f"[differential] {result.kind} {result.subject} {result.case}: "
+            f"{result.detail}"
+        )
+
+
+def stage_fuzz(
+    seed: int, iterations: int, budget: float, artifact: str, failures: List[str]
+) -> None:
+    corpus = CorpusGenerator(seed=seed, size=4096).as_dict()
+    report = Fuzzer(seed=seed, corpus=corpus).run(
+        iterations=iterations, budget_seconds=budget
+    )
+    suffix = " (budget exhausted)" if report.budget_exhausted else ""
+    print(
+        f"fuzz       : seed={report.seed} iterations={report.iterations_run} "
+        f"signatures={report.signatures} crashes={len(report.crashes)}{suffix}"
+    )
+    if report.crashes:
+        write_corpus(artifact, report.crashes)
+        print(f"crash artifact -> {artifact}")
+        for crash in report.crashes:
+            failures.append(
+                f"[fuzz {crash.id}] {crash.target} raised {crash.error_type}: "
+                f"{crash.error_message} "
+                f"(replay: repro fuzz --replay {artifact})"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0, help="fuzz schedule seed")
+    parser.add_argument(
+        "--iterations", type=int, default=4000, help="fuzz schedule length"
+    )
+    parser.add_argument(
+        "--budget", default="30s", help="fuzz wall cap, e.g. 30s or 2m (default 30s)"
+    )
+    parser.add_argument(
+        "--artifact", metavar="PATH", default="fuzz_crashes.jsonl",
+        help="where to write new crash reproducers (default: fuzz_crashes.jsonl)",
+    )
+    parser.add_argument(
+        "--skip-fuzz", action="store_true",
+        help="run only the replay/conformance/differential oracle stages",
+    )
+    args = parser.parse_args(argv)
+    try:
+        budget = parse_budget(args.budget)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    started = time.perf_counter()
+    failures: List[str] = []
+    stage_regression(failures)
+    stage_conformance(failures)
+    stage_differential(failures)
+    if not args.skip_fuzz:
+        stage_fuzz(args.seed, args.iterations, budget, args.artifact, failures)
+    print(f"total      : {time.perf_counter() - started:.1f}s")
+
+    if failures:
+        print(f"\nfuzz gate FAILED ({len(failures)} assertion(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("fuzz gate OK: contracts hold on every decode surface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

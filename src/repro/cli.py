@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro``)::
     repro methods                                 # list registered codecs
     repro replay    [--dataset D] [--link L] ...  # run a simulated stream
     repro figure    N                             # print a paper figure
+    repro fuzz      [--seed S] [--budget 30s] ... # fuzz the decode surfaces
 
 ``compress --method adaptive`` profiles a sample of the input (entropy +
 repetition, §4.1) and picks the recommended method.  Compressed output is
@@ -246,6 +247,57 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a wall budget like ``30``, ``30s``, or ``2m`` into seconds."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise SystemExit(f"error: bad --budget {text!r} (try 30s or 2m)") from None
+    if seconds <= 0:
+        raise SystemExit("error: --budget must be positive")
+    return seconds
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify.fuzz import Fuzzer, load_corpus, replay_corpus, write_corpus
+
+    if args.replay:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"{args.replay}: no crash entries")
+            return 0
+        still_failing = 0
+        for entry, fails, detail in replay_corpus(entries):
+            status = "STILL-FAILING" if fails else "ok"
+            print(f"{entry.id}  {entry.target:24s} {entry.error_type:22s} {status}  {detail}")
+            still_failing += fails
+        print(f"{len(entries)} entries, {still_failing} still failing")
+        return 1 if still_failing else 0
+
+    budget = _parse_budget(args.budget) if args.budget else None
+    report = Fuzzer(seed=args.seed).run(iterations=args.iterations, budget_seconds=budget)
+    suffix = " (budget exhausted)" if report.budget_exhausted else ""
+    print(
+        f"seed={report.seed} iterations={report.iterations_run} "
+        f"signatures={report.signatures} crashes={len(report.crashes)}{suffix}"
+    )
+    for crash in report.crashes:
+        print(
+            f"CRASH {crash.id} target={crash.target} "
+            f"{crash.error_type}: {crash.error_message} ({len(crash.data)} bytes)"
+        )
+    if args.corpus_out and report.crashes:
+        write_corpus(args.corpus_out, report.crashes)
+        print(f"crash corpus -> {args.corpus_out}")
+    return 1 if report.crashes else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments.config import HEADLINE_CONFIG, ReplayConfig
     from .experiments.report import generate_report
@@ -349,6 +401,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="run a replay with telemetry and dump the metrics registry as JSON")
     add_replay_options(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("fuzz", help="fuzz the decode surfaces (deterministic per seed)")
+    p.add_argument("--seed", type=int, default=0, help="mutation schedule seed")
+    p.add_argument("--iterations", type=int, default=2000, help="schedule length")
+    p.add_argument(
+        "--budget",
+        metavar="30s",
+        help="wall-clock cap (e.g. 30s, 2m); only truncates the schedule",
+    )
+    p.add_argument(
+        "--corpus-out",
+        metavar="PATH",
+        help="write shrunken crash reproducers to a JSONL corpus",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay a JSONL crash corpus instead of fuzzing; exits 1 if any entry still fails",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("figure", help="print a paper figure (1-7)")
     p.add_argument("number", type=int)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
+    "ACCEPTABLE_DECODE_ERRORS",
     "Codec",
     "CodecError",
     "CorruptStreamError",
@@ -36,6 +37,15 @@ class CorruptStreamError(CodecError, ValueError):
     shared framing module serves layers whose callers historically caught
     ``ValueError`` (the event wire format).
     """
+
+
+#: The corruption contract: for *any* input bytes, ``decompress`` either
+#: returns bytes (entropy coders cannot always detect damage — wrong
+#: output is acceptable) or raises one of these.  ``EOFError`` covers bit
+#: exhaustion in the bit-level readers.  Anything else (IndexError,
+#: struct.error, a hang, ...) is a codec bug; the conformance kit and the
+#: fuzz gate both assert against this exact tuple.
+ACCEPTABLE_DECODE_ERRORS = (CorruptStreamError, EOFError)
 
 
 class Codec(abc.ABC):

@@ -91,17 +91,22 @@ class QuantizedFloatCodec(Codec):
         if payload[: len(_QUANT_MAGIC)] != _QUANT_MAGIC:
             raise CorruptStreamError("not a quantized-float stream")
         offset = len(_QUANT_MAGIC)
+        if len(payload) < offset + 8:
+            raise CorruptStreamError("truncated quantized-float header")
         (tolerance,) = struct.unpack_from("<d", payload, offset)
         offset += 8
         count, offset = read_varint(payload, offset)
         escape_bytes, offset = read_varint(payload, offset)
+        if escape_bytes % 8 or offset + escape_bytes > len(payload):
+            raise CorruptStreamError("corrupt escape plane")
         escapes = np.frombuffer(
             payload[offset : offset + escape_bytes], dtype="<u8"
         )
         offset += escape_bytes
-        packed = np.frombuffer(
-            self._entropy.decompress(payload[offset:]), dtype="<u4"
-        ).astype(np.uint64)
+        body = self._entropy.decompress(payload[offset:])
+        if len(body) % 4:
+            raise CorruptStreamError("quantized body is not a u32 plane")
+        packed = np.frombuffer(body, dtype="<u4").astype(np.uint64)
         if len(packed) != count:
             raise CorruptStreamError("quantized stream length mismatch")
         zigzag = packed.copy()
@@ -155,6 +160,8 @@ class TruncatedFloatCodec(Codec):
         if payload[: len(_TRUNC_MAGIC)] != _TRUNC_MAGIC:
             raise CorruptStreamError("not a truncated-float stream")
         offset = len(_TRUNC_MAGIC)
+        if len(payload) <= offset:
+            raise CorruptStreamError("truncated-float stream missing width byte")
         mantissa_bits = payload[offset]
         if mantissa_bits > 52:
             raise CorruptStreamError("invalid mantissa width")

@@ -74,6 +74,16 @@ class LzwCodec(Codec):
                 width = 9
             current = bytes([byte])
         writer.write_bits(table[current], width)
+        # The decoder grows its dictionary on this final code too (it
+        # always lags one assignment behind), so mirror the phantom
+        # assignment before choosing the EOF width — otherwise a stream
+        # ending exactly at a widening boundary desynchronizes and the
+        # decoder reads EOF one bit wide (found by the conformance kit
+        # on 16257 bytes of period-2 input).
+        if len(data) > 1 and next_code < limit:
+            next_code += 1
+            if next_code > (1 << width) and width < MAX_CODE_BITS:
+                width += 1
         writer.write_bits(_EOF, width)
         return bytes(header) + writer.getvalue()
 

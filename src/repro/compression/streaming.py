@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .base import CodecError, CorruptStreamError
 from .framing import (
     DEFAULT_MAX_FRAME_SIZE,
     MAX_METHOD_NAME,
@@ -120,7 +121,14 @@ class StreamingDecompressor:
         """
         out = bytearray()
         for frame in self._decoder.feed(data):
-            out += get_codec(frame.method).decompress(frame.payload)
+            try:
+                codec = get_codec(frame.method)
+            except CodecError as exc:
+                # A method name the registry has never heard of can only
+                # come from a corrupted header, so report it as stream
+                # corruption rather than a configuration error.
+                raise CorruptStreamError(str(exc)) from exc
+            out += codec.decompress(frame.payload)
             self.frames_decoded += 1
         return bytes(out)
 

@@ -45,6 +45,7 @@ __all__ = [
     "Selector",
     "cut_blocks",
     "measure",
+    "measure_callable",
     "measure_decompress",
 ]
 
@@ -83,6 +84,28 @@ def measure_decompress(codec: Codec, payload: bytes) -> Tuple[bytes, float]:
     data = codec.decompress(payload)
     elapsed = time.perf_counter() - start
     return data, elapsed
+
+
+def measure_callable(
+    label: str, transform: Callable[[bytes], bytes], data: bytes
+) -> CompressionResult:
+    """Time an arbitrary ``bytes -> bytes`` transform at the sanctioned site.
+
+    The differential harness (:mod:`repro.verify.differential`) compares
+    our codecs against reference implementations (``zlib``, ``bz2``, the
+    scalar mtf/rle/bwt loops) and wants both sides timed identically —
+    but only this module may read the clock, so the hook lives here.
+    """
+    start = time.perf_counter()
+    out = transform(data)
+    elapsed = time.perf_counter() - start
+    return CompressionResult(
+        codec_name=label,
+        original_size=len(data),
+        compressed_size=len(out),
+        elapsed_seconds=elapsed,
+        payload=out,
+    )
 
 
 # -- execution records -----------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Correctness tooling: conformance kit, differential oracles, fuzzing.
+
+The selector (paper §2.5) can only pick among codecs it can trust; this
+package is the machinery that keeps every registry entry trustworthy:
+
+* :mod:`repro.verify.conformance` — declarative invariants run against
+  every codec in ``available_codecs()`` with zero per-codec test code;
+* :mod:`repro.verify.differential` — cross-checks against standard-
+  library counterparts (zlib/bz2), scalar reference loops, and pool
+  strategies;
+* :mod:`repro.verify.fuzz` — deterministic coverage-guided byte fuzzing
+  of every decode surface, with shrinking and a JSONL crash corpus;
+* :mod:`repro.verify.corpus` — the seeded corpus generator feeding all
+  three;
+* :mod:`repro.verify.references` — the scalar textbook implementations
+  kept as differential oracles.
+"""
+
+from .conformance import (
+    CONFORMANCE_CHECKS,
+    CheckResult,
+    conformance_failures,
+    run_conformance,
+)
+from .corpus import DEFAULT_CORPUS_SEED, EDGE_CASES, CorpusGenerator
+from .differential import (
+    REFERENCE_COUNTERPARTS,
+    DifferentialResult,
+    counterpart_for,
+    differential_failures,
+    run_differential,
+)
+from .fuzz import (
+    CrashEntry,
+    Fuzzer,
+    FuzzReport,
+    FuzzTarget,
+    build_default_targets,
+    load_corpus,
+    mutated_copies,
+    replay_corpus,
+    write_corpus,
+)
+
+__all__ = [
+    "CONFORMANCE_CHECKS",
+    "CheckResult",
+    "conformance_failures",
+    "run_conformance",
+    "DEFAULT_CORPUS_SEED",
+    "EDGE_CASES",
+    "CorpusGenerator",
+    "REFERENCE_COUNTERPARTS",
+    "DifferentialResult",
+    "counterpart_for",
+    "differential_failures",
+    "run_differential",
+    "CrashEntry",
+    "Fuzzer",
+    "FuzzReport",
+    "FuzzTarget",
+    "build_default_targets",
+    "load_corpus",
+    "mutated_copies",
+    "replay_corpus",
+    "write_corpus",
+]

@@ -1,0 +1,117 @@
+"""Seeded corpus generation for conformance, differential, and fuzz runs.
+
+One generator, one seed, one corpus: commercial OIS XML and molecular
+per-field blocks (the paper's two workloads) plus adversarial synthetic
+blocks engineered at the codecs' edge cases — the RLE escape alphabet
+(254/255), zero runs straddling the 254 cap, chunk-terminator-adjacent
+values for the BW pipeline, incompressible noise for the expansion guard,
+and the degenerate empty/1-byte/all-equal shapes.
+
+Everything is a pure function of the seed, so a corpus name + seed fully
+identifies a block — which is what lets the fuzz gate commit minimal
+reproducers instead of megabytes of input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Tuple
+
+from ..data.commercial import CommercialDataGenerator
+from ..data.molecular import MolecularDataGenerator
+
+__all__ = ["CorpusGenerator", "DEFAULT_CORPUS_SEED", "EDGE_CASES"]
+
+DEFAULT_CORPUS_SEED = 20040431
+
+#: The degenerate shapes every codec must survive (conformance "edge
+#: corpora" invariant); deliberately seed-independent.
+EDGE_CASES: Dict[str, bytes] = {
+    "empty": b"",
+    "single": b"x",
+    "single-zero": b"\x00",
+    "single-255": b"\xff",
+    "tiny": b"abcabc",
+    "all-equal": b"m" * 4096,
+    "all-zero": b"\x00" * 4096,
+    "all-255": b"\xff" * 2048,
+}
+
+
+class CorpusGenerator:
+    """Deterministic named blocks spanning the paper's data classes."""
+
+    def __init__(self, seed: int = DEFAULT_CORPUS_SEED, size: int = 16 * 1024) -> None:
+        if size < 1024:
+            raise ValueError("corpus block size must be at least 1 KB")
+        self.seed = seed
+        self.size = size
+
+    def _rng(self, salt: str) -> random.Random:
+        return random.Random(f"{self.seed}:{salt}")
+
+    # -- workload blocks (the paper's two datasets) ----------------------------
+
+    def commercial(self) -> bytes:
+        """OIS XML transactions — string-repetitive, medium entropy."""
+        return CommercialDataGenerator(seed=self.seed).xml_block(self.size)
+
+    def molecular_coordinates(self) -> bytes:
+        """Float64 coordinates — near-incompressible mantissas."""
+        generator = MolecularDataGenerator(atom_count=512, seed=self.seed)
+        return generator.coordinates_block()[: self.size]
+
+    def molecular_types(self) -> bytes:
+        """Species ids in contiguous blocks — long runs, highly compressible."""
+        generator = MolecularDataGenerator(atom_count=2048, seed=self.seed)
+        return generator.types_block()[: self.size]
+
+    # -- adversarial synthetics ------------------------------------------------
+
+    def incompressible(self) -> bytes:
+        """Uniform random bytes: every codec should expand or break even."""
+        rng = self._rng("incompressible")
+        return rng.randbytes(self.size)
+
+    def lowentropy(self) -> bytes:
+        """4-symbol skewed alphabet — the entropy coders' best case."""
+        rng = self._rng("lowentropy")
+        return bytes(rng.choices([65, 66, 67, 68], weights=[70, 20, 7, 3], k=self.size))
+
+    def rle_adversarial(self) -> bytes:
+        """Bytes drawn from {0, 1, 253, 254, 255}: the RLE escape alphabet."""
+        rng = self._rng("rle")
+        return bytes(rng.choices([0, 0, 0, 0, 1, 253, 254, 255], k=self.size))
+
+    def zero_runs(self) -> bytes:
+        """Zero runs of lengths straddling the 254-run cap and the MIN_RUN floor."""
+        rng = self._rng("zeroruns")
+        out = bytearray()
+        while len(out) < self.size:
+            out += b"\x00" * rng.choice([1, 2, 3, 253, 254, 255, 509])
+            out.append(rng.randrange(1, 255))
+        return bytes(out[: self.size])
+
+    def alternating(self) -> bytes:
+        """Period-2 text: maximal MTF rank-1 churn, worst case for RLE."""
+        return b"ab" * (self.size // 2)
+
+    def sawtooth(self) -> bytes:
+        """All 256 values cycling — defeats run detection, exercises full tables."""
+        return bytes(range(256)) * (self.size // 256)
+
+    def blocks(self) -> Iterator[Tuple[str, bytes]]:
+        """Every named block, edge cases first (deterministic order)."""
+        yield from EDGE_CASES.items()
+        yield "commercial", self.commercial()
+        yield "molecular-coordinates", self.molecular_coordinates()
+        yield "molecular-types", self.molecular_types()
+        yield "incompressible", self.incompressible()
+        yield "lowentropy", self.lowentropy()
+        yield "rle-adversarial", self.rle_adversarial()
+        yield "zero-runs", self.zero_runs()
+        yield "alternating", self.alternating()
+        yield "sawtooth", self.sawtooth()
+
+    def as_dict(self) -> Dict[str, bytes]:
+        return dict(self.blocks())

@@ -1,0 +1,283 @@
+"""Differential testing: our codecs cross-checked against references.
+
+Three families of oracle, per the bicriteria-compression argument that
+compressor choice must be *verified*, not assumed:
+
+* **Wire-level counterparts.**  The native codecs emit standard formats
+  (zlib's DEFLATE, bz2's bzip2), so the standard library can decode what
+  we encode and vice versa — a full cross-implementation check of the
+  wire bytes, not just a round trip through our own code.  ``lzma`` is
+  wired the same way and activates automatically if an xz-family codec
+  is ever registered (none is today).
+* **Scalar vs vectorized.**  The numpy hot loops (mtf/rle/bwt) must be
+  byte-identical to the classic scalar formulations kept in
+  :mod:`repro.verify.references`.
+* **Serial vs parallel.**  A :class:`ParallelCodec` must emit identical
+  container bytes under every pool strategy — the strategy is an
+  execution detail, never a wire-format input.
+
+Both sides of every comparison are timed through
+:func:`repro.core.engine.measure_callable` (the one sanctioned timing
+site), so a differential run doubles as a reference-speed probe.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..compression.bwt import bwt_inverse, bwt_transform
+from ..compression.mtf import mtf_decode, mtf_encode
+from ..compression.parallel import ParallelCodec
+from ..compression.registry import available_codecs, get_codec
+from ..compression.rle import rle_decode, rle_encode
+from ..core.engine import measure_callable
+from .corpus import CorpusGenerator
+from .references import (
+    reference_bwt_inverse,
+    reference_bwt_transform,
+    reference_mtf_decode,
+    reference_mtf_encode,
+    reference_rle_decode,
+    reference_rle_encode,
+)
+
+__all__ = [
+    "DifferentialResult",
+    "REFERENCE_COUNTERPARTS",
+    "counterpart_for",
+    "run_differential",
+    "differential_failures",
+    "diff_wire_counterpart",
+    "diff_scalar_vectorized",
+    "diff_serial_parallel",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """Outcome of one differential comparison."""
+
+    kind: str
+    subject: str
+    case: str
+    passed: bool
+    detail: str = ""
+    subject_seconds: float = 0.0
+    reference_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReferenceCounterpart:
+    """A standard-library codec sharing a wire format with one of ours."""
+
+    label: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+#: Registry-name -> standard-library counterpart.  Keyed by codec name so
+#: a newly registered xz-family codec picks up the lzma oracle for free.
+REFERENCE_COUNTERPARTS: Dict[str, ReferenceCounterpart] = {
+    "lempel-ziv-native": ReferenceCounterpart(
+        label="zlib", compress=zlib.compress, decompress=zlib.decompress
+    ),
+    "burrows-wheeler-native": ReferenceCounterpart(
+        label="bz2", compress=bz2.compress, decompress=bz2.decompress
+    ),
+    "lzma-native": ReferenceCounterpart(
+        label="lzma", compress=lzma.compress, decompress=lzma.decompress
+    ),
+}
+
+
+def counterpart_for(name: str) -> Optional[ReferenceCounterpart]:
+    """The standard-library counterpart for ``name``, if one exists."""
+    return REFERENCE_COUNTERPARTS.get(name)
+
+
+def diff_wire_counterpart(name: str, case: str, data: bytes) -> List[DifferentialResult]:
+    """Cross-decode: reference reads our bytes, we read the reference's."""
+    reference = counterpart_for(name)
+    if reference is None:
+        return []
+    codec = get_codec(name)
+    ours = measure_callable(name, codec.compress, data)
+    theirs = measure_callable(reference.label, reference.compress, data)
+    results = []
+    assert ours.payload is not None and theirs.payload is not None
+    try:
+        cross = reference.decompress(ours.payload)
+        ok, detail = cross == data, "" if cross == data else (
+            f"{reference.label} decoded our bytes to {len(cross)} bytes, "
+            f"want {len(data)}"
+        )
+    except Exception as exc:  # noqa: BLE001
+        ok, detail = False, f"{reference.label} rejected our bytes: {exc!r}"
+    results.append(
+        DifferentialResult(
+            kind="wire-counterpart",
+            subject=name,
+            case=f"{case}:ours->{reference.label}",
+            passed=ok,
+            detail=detail,
+            subject_seconds=ours.elapsed_seconds,
+            reference_seconds=theirs.elapsed_seconds,
+        )
+    )
+    try:
+        back = codec.decompress(theirs.payload)
+        ok, detail = back == data, "" if back == data else (
+            f"we decoded {reference.label} bytes to {len(back)} bytes, "
+            f"want {len(data)}"
+        )
+    except Exception as exc:  # noqa: BLE001
+        ok, detail = False, f"we rejected {reference.label} bytes: {exc!r}"
+    results.append(
+        DifferentialResult(
+            kind="wire-counterpart",
+            subject=name,
+            case=f"{case}:{reference.label}->ours",
+            passed=ok,
+            detail=detail,
+            subject_seconds=ours.elapsed_seconds,
+            reference_seconds=theirs.elapsed_seconds,
+        )
+    )
+    return results
+
+
+_SCALAR_PAIRS: Tuple[Tuple[str, Callable, Callable], ...] = (
+    ("mtf-encode", mtf_encode, reference_mtf_encode),
+    ("rle-encode", rle_encode, reference_rle_encode),
+)
+
+
+def diff_scalar_vectorized(case: str, data: bytes) -> List[DifferentialResult]:
+    """The vectorized mtf/rle/bwt paths vs the scalar textbook loops."""
+    results = []
+    for label, vectorized, scalar in _SCALAR_PAIRS:
+        fast = measure_callable(f"{label}:numpy", vectorized, data)
+        slow = measure_callable(f"{label}:scalar", scalar, data)
+        ok = fast.payload == slow.payload
+        results.append(
+            DifferentialResult(
+                kind="scalar-vectorized",
+                subject=label,
+                case=case,
+                passed=ok,
+                detail="" if ok else "vectorized output diverged from scalar",
+                subject_seconds=fast.elapsed_seconds,
+                reference_seconds=slow.elapsed_seconds,
+            )
+        )
+    # Decoders: run on the (already cross-checked) encoded form.
+    encoded_mtf = mtf_encode(data)
+    ok = mtf_decode(encoded_mtf) == reference_mtf_decode(encoded_mtf)
+    results.append(
+        DifferentialResult(
+            kind="scalar-vectorized", subject="mtf-decode", case=case, passed=ok,
+            detail="" if ok else "vectorized mtf decode diverged from scalar",
+        )
+    )
+    encoded_rle = rle_encode(data)
+    ok = rle_decode(encoded_rle) == reference_rle_decode(encoded_rle)
+    results.append(
+        DifferentialResult(
+            kind="scalar-vectorized", subject="rle-decode", case=case, passed=ok,
+            detail="" if ok else "vectorized rle decode diverged from scalar",
+        )
+    )
+    # BWT is O(n² log n) in the scalar reference; cap the input.
+    sample = data[:2048]
+    fast_column, fast_primary = bwt_transform(sample)
+    slow_column, slow_primary = reference_bwt_transform(sample)
+    ok = (fast_column, fast_primary) == (slow_column, slow_primary)
+    results.append(
+        DifferentialResult(
+            kind="scalar-vectorized", subject="bwt-transform", case=case, passed=ok,
+            detail="" if ok else "prefix-doubling BWT diverged from suffix sort",
+        )
+    )
+    if ok:
+        restored = bwt_inverse(fast_column, fast_primary)
+        reference = reference_bwt_inverse(slow_column, slow_primary)
+        ok = restored == reference == sample
+        results.append(
+            DifferentialResult(
+                kind="scalar-vectorized", subject="bwt-inverse", case=case, passed=ok,
+                detail="" if ok else "pointer-doubling inverse diverged from LF walk",
+            )
+        )
+    return results
+
+
+def diff_serial_parallel(
+    base_name: str, case: str, data: bytes, chunk_size: int = 4096
+) -> List[DifferentialResult]:
+    """A ParallelCodec's wire bytes must not depend on the pool strategy."""
+    base = get_codec(base_name)
+    serial = ParallelCodec(base, chunk_size=chunk_size, strategy="serial")
+    threaded = ParallelCodec(base, chunk_size=chunk_size, workers=3, strategy="threads")
+    serial_run = measure_callable("serial", serial.compress, data)
+    threaded_run = measure_callable("threads", threaded.compress, data)
+    ok = serial_run.payload == threaded_run.payload
+    results = [
+        DifferentialResult(
+            kind="serial-parallel",
+            subject=f"parallel:{base_name}",
+            case=case,
+            passed=ok,
+            detail="" if ok else "pool strategy leaked into the wire bytes",
+            subject_seconds=threaded_run.elapsed_seconds,
+            reference_seconds=serial_run.elapsed_seconds,
+        )
+    ]
+    assert serial_run.payload is not None
+    restored = threaded.decompress(serial_run.payload)
+    ok = restored == data
+    results.append(
+        DifferentialResult(
+            kind="serial-parallel",
+            subject=f"parallel:{base_name}",
+            case=f"{case}:cross-decode",
+            passed=ok,
+            detail="" if ok else "threaded decode of serial container diverged",
+        )
+    )
+    return results
+
+
+def run_differential(
+    corpus: Optional[Dict[str, bytes]] = None,
+    cases: Optional[Iterable[str]] = None,
+) -> List[DifferentialResult]:
+    """The full differential sweep used by tests and the fuzz gate."""
+    if corpus is None:
+        corpus = CorpusGenerator(size=8192).as_dict()
+    names = list(cases) if cases is not None else [
+        "commercial", "lowentropy", "rle-adversarial", "zero-runs", "incompressible",
+    ]
+    results: List[DifferentialResult] = []
+    registered = set(available_codecs())
+    for case in names:
+        data = corpus.get(case)
+        if data is None:
+            continue
+        for codec_name in sorted(registered & set(REFERENCE_COUNTERPARTS)):
+            results.extend(diff_wire_counterpart(codec_name, case, data))
+        results.extend(diff_scalar_vectorized(case, data))
+    sample = corpus.get("commercial") or next(iter(corpus.values()))
+    results.extend(diff_serial_parallel("lempel-ziv", "commercial", sample))
+    results.extend(diff_serial_parallel("huffman", "commercial", sample))
+    return results
+
+
+def differential_failures(
+    results: Iterable[DifferentialResult],
+) -> List[DifferentialResult]:
+    """The failed subset, for assertion messages and gate output."""
+    return [result for result in results if not result.passed]

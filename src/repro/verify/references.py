@@ -1,0 +1,156 @@
+"""Scalar reference implementations for differential testing.
+
+The hot loops in :mod:`repro.compression` (move-to-front, the 254-capped
+RLE, the Burrows-Wheeler transform) are vectorized numpy rewrites of
+classic per-byte algorithms.  This module keeps the classic formulations
+— short, obviously-correct Python loops straight out of the textbook —
+as the differential oracle: the optimized path must be **byte-identical**
+to these on every input, forever.
+
+They are deliberately slow (the BWT reference sorts suffixes with
+Python's ``sorted``, O(n² log n)); use them on test-sized inputs only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..compression.base import CorruptStreamError
+from ..compression.rle import ESCAPE, MAX_RUN, MIN_RUN
+
+__all__ = [
+    "reference_mtf_encode",
+    "reference_mtf_decode",
+    "reference_rle_encode",
+    "reference_rle_decode",
+    "reference_bwt_transform",
+    "reference_bwt_inverse",
+]
+
+
+def reference_mtf_encode(data: bytes) -> bytes:
+    """Classic per-byte move-to-front (paper §2.4 step 2, verbatim)."""
+    table = list(range(256))
+    out = bytearray()
+    for byte in data:
+        index = table.index(byte)
+        out.append(index)
+        table.pop(index)
+        table.insert(0, byte)
+    return bytes(out)
+
+
+def reference_mtf_decode(ranks: bytes) -> bytes:
+    """Invert :func:`reference_mtf_encode`, one rank at a time."""
+    table = list(range(256))
+    out = bytearray()
+    for rank in ranks:
+        byte = table.pop(rank)
+        out.append(byte)
+        table.insert(0, byte)
+    return bytes(out)
+
+
+def reference_rle_encode(data: bytes) -> bytes:
+    """Classic greedy per-byte RLE into the 0..254 alphabet."""
+    out = bytearray()
+    i = 0
+    while i < len(data):
+        byte = data[i]
+        if byte == 0:
+            run = 1
+            while i + run < len(data) and data[i + run] == 0 and run < MAX_RUN:
+                run += 1
+            if run >= MIN_RUN:
+                out += bytes((ESCAPE, run))
+            else:
+                out += b"\x00" * run
+            i += run
+        elif byte >= ESCAPE:
+            out += bytes((ESCAPE, byte - ESCAPE))
+            i += 1
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+def reference_rle_decode(data: bytes) -> bytes:
+    """Per-byte inverse of :func:`reference_rle_encode`."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte == 255:
+            raise CorruptStreamError("reserved byte 255 inside RLE payload")
+        if byte == ESCAPE:
+            if i + 1 >= n:
+                raise CorruptStreamError("truncated escape sequence")
+            argument = data[i + 1]
+            if argument == 0:
+                out.append(254)
+            elif argument == 1:
+                out.append(255)
+            elif argument == 255:
+                raise CorruptStreamError("reserved byte 255 inside RLE payload")
+            else:
+                out += b"\x00" * argument
+            i += 2
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+def reference_bwt_transform(data: bytes) -> Tuple[bytes, int]:
+    """Suffix sort by actual suffix comparison (sentinel semantics intact).
+
+    Mirrors :func:`repro.compression.bwt.bwt_transform` exactly: symbols
+    are shifted up by one, a unique smallest sentinel (0) is appended, the
+    sentinel's own row is dropped from the last column, and its position
+    is returned as the primary index.
+    """
+    if not data:
+        return b"", 0
+    terminated = [b + 1 for b in data] + [0]
+    m = len(terminated)
+    order = sorted(range(m), key=lambda i: terminated[i:])
+    primary = order.index(0)
+    last_column = bytearray()
+    for row, start in enumerate(order):
+        if row == primary:
+            continue
+        last_column.append(terminated[(start - 1) % m] - 1)
+    return bytes(last_column), primary
+
+
+def reference_bwt_inverse(last_column: bytes, primary: int) -> bytes:
+    """Classic one-step-per-byte LF-mapping backward walk."""
+    n = len(last_column)
+    if n == 0:
+        if primary != 0:
+            raise CorruptStreamError("primary index out of range for empty block")
+        return b""
+    if not 0 <= primary <= n:
+        raise CorruptStreamError("primary index out of range")
+    m = n + 1
+    column = [b + 1 for b in last_column[:primary]]
+    column.append(0)
+    column += [b + 1 for b in last_column[primary:]]
+    order = sorted(range(m), key=lambda i: (column[i], i))
+    lf = [0] * m
+    for slot, position in enumerate(order):
+        lf[position] = slot
+    out = []
+    row = primary
+    for _ in range(m):
+        out.append(column[row])
+        row = lf[row]
+    out.reverse()
+    if out[-1] != 0:
+        raise CorruptStreamError("sentinel did not surface at end of inverse BWT")
+    body = out[:-1]
+    if any(value == 0 for value in body):
+        raise CorruptStreamError("sentinel surfaced inside inverse BWT output")
+    return bytes(value - 1 for value in body)

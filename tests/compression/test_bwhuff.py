@@ -137,3 +137,50 @@ class TestResynchronization:
         payload = codec.compress(data)
         _, count = codec.decode_from(payload, 0)
         assert count == len(data) // 512
+
+
+class TestResumeAtBlockBoundaries:
+    """Sweep start offsets: recovery is always a chunk-aligned suffix.
+
+    The 255 terminator is the only place a resynchronizing decoder may
+    re-anchor, so whatever bit we start from, the recovered bytes must be
+    exactly the last ``count`` whole chunks — never a partial chunk, never
+    out-of-order data.
+    """
+
+    CHUNK = 1024
+    CHUNKS = 6
+
+    def _payload(self):
+        codec = BurrowsWheelerCodec(chunk_size=self.CHUNK)
+        data = (b"resume at arbitrary block boundaries | " * 400)[
+            : self.CHUNKS * self.CHUNK
+        ]
+        return codec, data, codec.compress(data)
+
+    def test_every_byte_offset_yields_chunk_aligned_suffix(self):
+        codec, data, payload = self._payload()
+        suffixes = {
+            data[k * self.CHUNK :]: self.CHUNKS - k for k in range(self.CHUNKS + 1)
+        }
+        for start_byte in range(0, len(payload), 97):  # prime stride sweep
+            recovered, count = codec.decode_from(payload, start_byte * 8)
+            assert recovered in suffixes, f"start_byte={start_byte}"
+            assert suffixes[recovered] == count, f"start_byte={start_byte}"
+
+    def test_unaligned_bit_offsets_yield_chunk_aligned_suffix(self):
+        codec, data, payload = self._payload()
+        suffixes = {data[k * self.CHUNK :] for k in range(self.CHUNKS + 1)}
+        midpoint = (len(payload) // 2) * 8
+        for bit in range(midpoint, midpoint + 8):
+            recovered, _ = codec.decode_from(payload, bit)
+            assert recovered in suffixes, f"start_bit={bit}"
+
+    def test_later_starts_recover_monotonically_less(self):
+        codec, data, payload = self._payload()
+        counts = [
+            codec.decode_from(payload, start_byte * 8)[1]
+            for start_byte in range(0, len(payload), 211)
+        ]
+        assert counts[0] == self.CHUNKS
+        assert all(a >= b for a, b in zip(counts, counts[1:]))

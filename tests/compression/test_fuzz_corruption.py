@@ -1,11 +1,16 @@
 """Failure injection: corrupted payloads must never crash the decoders.
 
-The contract: for any mutated compressed stream, ``decompress`` either
-raises :class:`CorruptStreamError` (or ``EOFError`` from bit exhaustion)
-or returns *some* bytes — it must never raise an unrelated exception
+The contract (:data:`~repro.compression.base.ACCEPTABLE_DECODE_ERRORS`):
+for any mutated compressed stream, ``decompress`` either raises
+:class:`CorruptStreamError` (or ``EOFError`` from bit exhaustion) or
+returns *some* bytes — it must never raise an unrelated exception
 (IndexError, struct.error, infinite loop, ...).  Entropy coders cannot
 always detect corruption (a flipped bit may decode to different valid
 symbols), so "wrong output" is acceptable; crashing or hanging is not.
+
+The mutation set is the canonical one from :mod:`repro.verify.fuzz`, so
+the conformance kit, the fuzz gate, and this suite all agree on what
+"corrupted" means.
 """
 
 import random
@@ -14,45 +19,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compression import available_codecs, get_codec
-from repro.compression.base import CorruptStreamError
+from repro.compression import get_codec
+from repro.compression.base import ACCEPTABLE_DECODE_ERRORS, CorruptStreamError
 from repro.middleware.transport import WireFormat
-
-LOSSLESS = [
-    name
-    for name in available_codecs()
-    if get_codec(name).family != "lossy" and name != "none"
-]
-
-_SEED_DATA = b"the configurable compression corruption corpus " * 64
-
-_ACCEPTABLE = (CorruptStreamError, EOFError)
+from repro.verify.fuzz import mutated_copies
+from tests.strategies import LOSSLESS_CODECS, SEED_DATA
 
 
-def _mutations(payload: bytes, rng: random.Random, count: int = 24):
-    """Yield systematically mutated copies of ``payload``."""
-    yield payload[: len(payload) // 2]           # truncation
-    yield payload[:-1]                           # off-by-one truncation
-    yield payload + b"\x00"                      # trailing junk
-    yield b""                                    # empty
-    yield b"\xff" * len(payload)                 # total garbage
-    for _ in range(count):
-        mutated = bytearray(payload)
-        position = rng.randrange(len(mutated))
-        mutated[position] ^= 1 << rng.randrange(8)
-        yield bytes(mutated)
-
-
-@pytest.mark.parametrize("name", LOSSLESS)
+@pytest.mark.parametrize("name", LOSSLESS_CODECS)
 def test_bitflips_never_crash(name):
     codec = get_codec(name)
-    data = _SEED_DATA[:8192] if name.startswith("arithmetic") else _SEED_DATA
+    data = SEED_DATA[:8192] if name.startswith("arithmetic") else SEED_DATA
     payload = codec.compress(data)
     rng = random.Random(hash(name) & 0xFFFF)
-    for mutated in _mutations(payload, rng):
+    for mutated in mutated_copies(payload, rng):
         try:
             result = codec.decompress(mutated)
-        except _ACCEPTABLE:
+        except ACCEPTABLE_DECODE_ERRORS:
             continue
         assert isinstance(result, bytes)
 
@@ -65,10 +48,10 @@ def test_lossy_bitflips_never_crash(name):
     data = np.linspace(-5.0, 5.0, 4096).astype("<f8").tobytes()
     payload = codec.compress(data)
     rng = random.Random(7)
-    for mutated in _mutations(payload, rng):
+    for mutated in mutated_copies(payload, rng):
         try:
             result = codec.decompress(mutated)
-        except _ACCEPTABLE:
+        except ACCEPTABLE_DECODE_ERRORS:
             continue
         assert isinstance(result, bytes)
 
@@ -76,11 +59,11 @@ def test_lossy_bitflips_never_crash(name):
 @given(st.binary(max_size=600))
 @settings(max_examples=60, deadline=None)
 def test_random_bytes_as_payload_never_crash(blob):
-    for name in LOSSLESS:
+    for name in LOSSLESS_CODECS:
         codec = get_codec(name)
         try:
             result = codec.decompress(blob)
-        except _ACCEPTABLE:
+        except ACCEPTABLE_DECODE_ERRORS:
             continue
         assert isinstance(result, bytes)
 
@@ -93,7 +76,7 @@ class TestWireFormatFuzz:
             Event(payload=b"payload" * 100, attributes={"k": 1}, channel_id="c", sequence=3)
         )
         rng = random.Random(11)
-        for mutated in _mutations(wire, rng):
+        for mutated in mutated_copies(wire, rng):
             try:
                 event = WireFormat.decode(mutated)
             except (ValueError, KeyError, CorruptStreamError, UnicodeDecodeError):

@@ -79,3 +79,32 @@ class TestLzwCodec:
     def test_roundtrip_small_alphabet(self, data):
         codec = LzwCodec()
         assert codec.decompress(codec.compress(data)) == data
+
+
+class TestTailWidthBoundary:
+    """Regression: streams ending exactly at a dictionary-widening point.
+
+    The decoder appends a phantom dictionary entry after the final real
+    code (it lags the encoder by one assignment), so the encoder must
+    mirror that append before choosing the EOF width.  Found by the
+    conformance kit: 16257 bytes of period-2 input made the decoder read
+    EOF at 10 bits where the encoder wrote 9.
+    """
+
+    def test_exact_boundary_length(self):
+        codec = LzwCodec()
+        data = (b"ab" * 16257)[:16257]
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_lengths_around_every_widening_point(self):
+        codec = LzwCodec()
+        # Period-2 input emits one code per new pair, so dictionary growth
+        # tracks input length closely; sweep a window around the 512-entry
+        # boundary where the bug lived, plus the next power of two.
+        for n in list(range(16240, 16280)) + list(range(65270, 65290)):
+            data = (b"ab" * n)[:n]
+            assert codec.decompress(codec.compress(data)) == data, n
+
+    def test_single_emit_stream_unaffected(self):
+        codec = LzwCodec()
+        assert codec.decompress(codec.compress(b"q")) == b"q"

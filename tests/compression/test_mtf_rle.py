@@ -7,6 +7,12 @@ from hypothesis import strategies as st
 from repro.compression.base import CorruptStreamError
 from repro.compression.mtf import mtf_decode, mtf_encode
 from repro.compression.rle import ESCAPE, MAX_RUN, rle_decode, rle_encode
+from repro.verify.references import (
+    reference_mtf_decode,
+    reference_mtf_encode,
+    reference_rle_encode,
+)
+from tests.strategies import rle_adversarial_payloads
 
 
 class TestMtf:
@@ -110,56 +116,12 @@ class TestRle:
     def test_roundtrip_property(self, data):
         assert rle_decode(rle_encode(data)) == data
 
-    @given(st.lists(st.sampled_from([0, 0, 0, 0, 1, 254, 255]), max_size=1500).map(bytes))
+    @given(rle_adversarial_payloads())
     @settings(max_examples=40)
     def test_roundtrip_adversarial_alphabet(self, data):
         encoded = rle_encode(data)
         assert 255 not in encoded
         assert rle_decode(encoded) == data
-
-
-def reference_mtf_encode(data: bytes) -> bytes:
-    table = list(range(256))
-    out = bytearray()
-    for byte in data:
-        index = table.index(byte)
-        out.append(index)
-        table.pop(index)
-        table.insert(0, byte)
-    return bytes(out)
-
-
-def reference_mtf_decode(ranks: bytes) -> bytes:
-    table = list(range(256))
-    out = bytearray()
-    for rank in ranks:
-        byte = table.pop(rank)
-        out.append(byte)
-        table.insert(0, byte)
-    return bytes(out)
-
-
-def reference_rle_encode(data: bytes) -> bytes:
-    out = bytearray()
-    i = 0
-    while i < len(data):
-        byte = data[i]
-        if byte == 0:
-            run = 1
-            while i + run < len(data) and data[i + run] == 0 and run < MAX_RUN:
-                run += 1
-            if run >= 3:
-                out += bytes((ESCAPE, run))
-            else:
-                out += b"\x00" * run
-            i += run
-        elif byte >= ESCAPE:
-            out += bytes((ESCAPE, byte - ESCAPE))
-            i += 1
-        else:
-            out.append(byte)
-            i += 1
-    return bytes(out)
 
 
 class TestVectorizedMatchesReference:
@@ -182,7 +144,7 @@ class TestVectorizedMatchesReference:
     def test_mtf_property(self, data):
         assert mtf_encode(data) == reference_mtf_encode(data)
 
-    @given(st.lists(st.sampled_from([0, 0, 0, 0, 1, 7, 253, 254, 255]), max_size=1500).map(bytes))
+    @given(rle_adversarial_payloads())
     @settings(max_examples=60)
     def test_rle_property(self, data):
         assert rle_encode(data) == reference_rle_encode(data)

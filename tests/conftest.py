@@ -1,12 +1,31 @@
 """Shared fixtures: representative datasets and codec instances."""
 
-import os
 import random
 
 import pytest
 
 from repro.data.commercial import CommercialDataGenerator
 from repro.data.molecular import MolecularDataGenerator
+from tests.strategies import SUITE_SEED
+
+
+@pytest.fixture(autouse=True)
+def pin_rng():
+    """Reseed ambient RNGs before every test (the one seeding point).
+
+    Mirrors ``benchmarks/conftest.py``: generators under test take
+    explicit seeds, but pinning the global :mod:`random` / numpy
+    generators on top keeps any test that forgets to pass one
+    deterministic run-to-run.
+    """
+    random.seed(SUITE_SEED)
+    try:
+        import numpy
+
+        numpy.random.seed(SUITE_SEED % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+    yield
 
 
 @pytest.fixture(scope="session")

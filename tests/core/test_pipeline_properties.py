@@ -16,6 +16,7 @@ from repro.data.commercial import CommercialDataGenerator
 from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE
 from repro.netsim.link import PAPER_LINKS, SimulatedLink
 from repro.netsim.loadtrace import LoadTrace
+from tests.strategies import link_names
 
 _GENERATOR = CommercialDataGenerator(seed=1717)
 _POOL = list(_GENERATOR.stream(16 * 1024, 24))
@@ -31,7 +32,7 @@ def _pipeline():
 def scenarios(draw):
     block_count = draw(st.integers(min_value=0, max_value=10))
     blocks = [_POOL[i % len(_POOL)] for i in range(block_count)]
-    link_name = draw(st.sampled_from(["1gbit", "100mbit", "1mbit", "international"]))
+    link_name = draw(link_names())
     connections = draw(st.floats(min_value=0.0, max_value=80.0))
     interval = draw(st.sampled_from([0.0, 0.5, 2.0]))
     pipelined = draw(st.booleans())

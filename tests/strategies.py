@@ -1,0 +1,57 @@
+"""Shared hypothesis strategies and suite-wide constants.
+
+Single home for the generators every property test reaches for: codec
+names straight from the registry, payload corpora, the RLE-adversarial
+alphabet, and the one ambient RNG seed (pinned before every test by the
+autouse fixture in ``tests/conftest.py``, the same way
+``benchmarks/conftest.py`` pins the benchmark suite).
+"""
+
+from hypothesis import strategies as st
+
+from repro.compression.registry import available_codecs, get_codec
+
+#: The single ambient seed the whole test suite starts from (mirrors
+#: BENCH_SEED in benchmarks/conftest.py).
+SUITE_SEED = 20040431
+
+#: Every registered codec that must satisfy the lossless round-trip
+#: contract ("none" is the identity codec; lossy codecs only bound error).
+LOSSLESS_CODECS = [
+    name
+    for name in available_codecs()
+    if get_codec(name).family != "lossy" and name != "none"
+]
+
+#: A medium-entropy, string-repetitive seed block for corruption tests.
+SEED_DATA = b"the configurable compression corruption corpus " * 64
+
+#: The paper's four simulated link classes.
+LINK_NAMES = ["1gbit", "100mbit", "1mbit", "international"]
+
+
+def lossless_codec_names() -> st.SearchStrategy:
+    """One registered lossless codec name."""
+    return st.sampled_from(LOSSLESS_CODECS)
+
+
+def payloads(max_size: int = 2048) -> st.SearchStrategy:
+    """Arbitrary byte payloads, the default round-trip input."""
+    return st.binary(max_size=max_size)
+
+
+def rle_adversarial_payloads(max_size: int = 1500) -> st.SearchStrategy:
+    """Bytes skewed toward the RLE escape machinery (0-runs, 253/254/255)."""
+    return st.lists(
+        st.sampled_from([0, 0, 0, 0, 1, 7, 253, 254, 255]), max_size=max_size
+    ).map(bytes)
+
+
+def link_names() -> st.SearchStrategy:
+    """One of the paper's simulated link classes."""
+    return st.sampled_from(LINK_NAMES)
+
+
+def stream_block_sizes() -> st.SearchStrategy:
+    """Valid streaming block sizes (the API floor is 1024)."""
+    return st.sampled_from([1024, 2048, 4096, 16 * 1024])

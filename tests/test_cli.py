@@ -190,3 +190,98 @@ class TestFigure:
     def test_unknown_figure_exits(self):
         with pytest.raises(SystemExit):
             main(["figure", "12"])
+
+
+class TestReplayEdgeBlocks:
+    """Empty and single-block streams must flow through cleanly."""
+
+    @pytest.mark.parametrize("blocks", [0, 1])
+    def test_replay(self, blocks, capsys):
+        assert main(["replay", "--blocks", str(blocks), "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"blocks={blocks}" in out
+        assert "total_time_s" in out
+
+    @pytest.mark.parametrize("blocks", [0, 1])
+    def test_stats(self, blocks, capsys):
+        import json
+
+        assert main(["stats", "--blocks", str(blocks), "--interval", "0"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        if blocks:
+            series = registry["repro_blocks_total"]["series"]
+            assert sum(entry["value"] for entry in series) == blocks
+        else:
+            assert isinstance(registry, dict)
+
+
+class TestFuzzCommand:
+    def test_short_clean_run(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--iterations", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=3" in out
+        assert "crashes=0" in out
+
+    def test_deterministic_output(self, capsys):
+        args = ["fuzz", "--seed", "12", "--iterations", "40"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_budget_flag_accepts_suffixes(self, capsys):
+        assert main(["fuzz", "--iterations", "10", "--budget", "1m"]) == 0
+        capsys.readouterr()
+
+    def test_bad_budget_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--budget", "soon"])
+
+    def test_replay_committed_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "verify" / "crash_corpus.jsonl"
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "0 still failing" in out
+
+    def test_replay_still_failing_corpus_exits_nonzero(self, tmp_path, capsys):
+        from repro.verify.fuzz import CrashEntry, write_corpus
+
+        # "framing" rejects this only with CorruptStreamError; fabricate an
+        # entry claiming an unknown target so replay must flag it.
+        entry = CrashEntry(
+            id="feedfeedfeed",
+            target="no-such-target",
+            seed=0,
+            iteration=0,
+            error_type="IndexError",
+            error_message="fabricated",
+            data=b"\x00",
+        )
+        path = tmp_path / "bad.jsonl"
+        write_corpus(str(path), [entry])
+        assert main(["fuzz", "--replay", str(path)]) == 1
+        assert "STILL-FAILING" in capsys.readouterr().out
+
+    def test_crash_corpus_written_on_failure(self, tmp_path, capsys, monkeypatch):
+        from repro.verify import fuzz as fuzz_module
+
+        def broken_targets(corpus=None, codec_names=None):
+            return [
+                fuzz_module.FuzzTarget(
+                    name="always-crashes",
+                    execute=lambda data: (_ for _ in ()).throw(IndexError("boom")),
+                    seeds=(b"seed",),
+                )
+            ]
+
+        monkeypatch.setattr(fuzz_module, "build_default_targets", broken_targets)
+        out_path = tmp_path / "crashes.jsonl"
+        assert main(
+            ["fuzz", "--iterations", "5", "--corpus-out", str(out_path)]
+        ) == 1
+        assert out_path.exists()
+        [entry] = fuzz_module.load_corpus(str(out_path))
+        assert entry.error_type == "IndexError"
+        assert "CRASH" in capsys.readouterr().out

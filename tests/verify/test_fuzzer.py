@@ -1,0 +1,176 @@
+"""The deterministic fuzzer: schedule, shrinking, crash corpus, replay."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.corpus import CorpusGenerator
+from repro.verify.fuzz import (
+    CrashEntry,
+    Fuzzer,
+    FuzzTarget,
+    build_default_targets,
+    load_corpus,
+    mutated_copies,
+    replay_corpus,
+    write_corpus,
+)
+
+COMMITTED_CORPUS = Path(__file__).parent / "crash_corpus.jsonl"
+
+
+def _run(seed, iterations=150):
+    corpus = CorpusGenerator(size=2048).as_dict()
+    return Fuzzer(seed=seed, corpus=corpus).run(iterations=iterations)
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdict(self):
+        first, second = _run(seed=42), _run(seed=42)
+        assert first.iterations_run == second.iterations_run
+        assert first.signatures == second.signatures
+        assert [c.id for c in first.crashes] == [c.id for c in second.crashes]
+        assert first.pool_sizes == second.pool_sizes
+
+    def test_mutated_copies_deterministic(self):
+        import random
+
+        payload = b"the canonical mutation corpus" * 8
+        first = list(mutated_copies(payload, random.Random(3)))
+        second = list(mutated_copies(payload, random.Random(3)))
+        assert first == second
+
+    def test_budget_only_truncates(self):
+        class _SteppingClock:
+            def __init__(self):
+                self.t = 0.0
+
+            def now(self):
+                self.t += 1.0
+                return self.t
+
+        corpus = CorpusGenerator(size=2048).as_dict()
+        report = Fuzzer(seed=1, corpus=corpus).run(
+            iterations=10_000, budget_seconds=5.0, clock=_SteppingClock()
+        )
+        assert report.budget_exhausted
+        assert report.iterations_run < 10_000
+        assert not report.crashes
+
+
+class _Brittle:
+    """A target that crashes whenever the byte 0x42 appears."""
+
+    @staticmethod
+    def execute(data: bytes) -> bytes:
+        if 0x42 in data:
+            raise IndexError("boom")
+        return data
+
+
+class TestShrinking:
+    def _target(self):
+        return FuzzTarget(name="brittle", execute=_Brittle.execute, seeds=(b"safe",))
+
+    def test_shrinks_to_single_byte(self):
+        fuzzer = Fuzzer(seed=0, targets=[self._target()])
+        noisy = b"x" * 300 + b"\x42" + b"y" * 500
+        minimal = fuzzer.shrink(self._target(), noisy, "IndexError")
+        assert minimal == b"\x42"
+
+    def test_fuzzer_records_shrunken_crash(self):
+        target = FuzzTarget(
+            name="brittle", execute=_Brittle.execute, seeds=(b"\x42" + b"pad" * 40,)
+        )
+        report = Fuzzer(seed=0, targets=[target]).run(iterations=10)
+        assert len(report.crashes) == 1
+        crash = report.crashes[0]
+        assert crash.error_type == "IndexError"
+        assert crash.data == b"\x42"
+        assert crash.iteration == -1  # found in the unmutated seed round
+
+
+class TestCrashCorpus:
+    def _entry(self, data=b"\x42", target="brittle"):
+        return CrashEntry(
+            id="abc123def456",
+            target=target,
+            seed=9,
+            iteration=3,
+            error_type="IndexError",
+            error_message="boom",
+            data=data,
+        )
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "crashes.jsonl"
+        write_corpus(str(path), [self._entry()])
+        loaded = load_corpus(str(path))
+        assert loaded == [self._entry()]
+        # every line is standalone JSON with base64 data
+        raw = json.loads(path.read_text().splitlines()[0])
+        assert raw["data_b64"] == "Qg=="
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "crashes.jsonl"
+        write_corpus(str(path), [self._entry()])
+        path.write_text("# comment\n\n" + path.read_text())
+        assert len(load_corpus(str(path))) == 1
+
+    def test_replay_flags_still_failing_entries(self):
+        target = FuzzTarget(name="brittle", execute=_Brittle.execute)
+        results = replay_corpus([self._entry()], targets=[target])
+        [(entry, still_fails, detail)] = results
+        assert still_fails
+        assert "IndexError" in detail
+
+    def test_replay_passes_fixed_entries(self):
+        fixed = FuzzTarget(name="brittle", execute=lambda data: data)
+        [(_, still_fails, _)] = replay_corpus([self._entry()], targets=[fixed])
+        assert not still_fails
+
+    def test_replay_unknown_target_fails(self):
+        [(_, still_fails, detail)] = replay_corpus(
+            [self._entry(target="no-such-surface")], targets=[]
+        )
+        assert still_fails
+        assert "unknown target" in detail
+
+
+class TestCommittedCorpus:
+    """The repository's regression corpus must stay green forever."""
+
+    def test_exists_and_replays_clean(self):
+        entries = load_corpus(str(COMMITTED_CORPUS))
+        assert entries, "committed crash corpus is empty"
+        still = [
+            (entry.id, detail)
+            for entry, fails, detail in replay_corpus(entries)
+            if fails
+        ]
+        assert not still, f"regression corpus entries failing again: {still}"
+
+
+class TestDefaultTargets:
+    def test_covers_every_registered_codec(self):
+        from repro.compression.registry import available_codecs
+
+        names = {target.name for target in build_default_targets()}
+        assert {"framing", "streaming", "wire"} <= names
+        for codec_name in available_codecs():
+            assert f"codec:{codec_name}" in names
+
+    def test_short_run_is_clean(self):
+        report = _run(seed=7, iterations=60)
+        assert report.crashes == []
+        assert report.signatures > 0
+
+
+@pytest.mark.parametrize("bad", [b"", b"\x80\x00", b"\xff" * 32])
+def test_adversarial_seeds_never_violate(bad):
+    for target in build_default_targets():
+        try:
+            target.execute(bad)
+        except target.acceptable:
+            pass
