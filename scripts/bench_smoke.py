@@ -35,6 +35,7 @@ from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeli
 from repro.data.commercial import CommercialDataGenerator  # noqa: E402
 from repro.experiments.config import ReplayConfig  # noqa: E402
 from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.fabric.loadgen import FanoutConfig, run_fanout  # noqa: E402
 from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
 from repro.middleware.events import Event  # noqa: E402
 from repro.netsim.clock import VirtualClock  # noqa: E402
@@ -69,6 +70,10 @@ SAMPLED_RATIOS = (None, 0.2, 0.35, 0.6, 0.9)
 CHAOS_EVENT_COUNT = 32
 CHAOS_EVENT_SIZE = 4 * 1024
 CHAOS_SEED = 11
+
+#: Fan-out gate scenario: the loadgen defaults — 1024 Zipf-skewed
+#: subscribers over 64 channels sharing 8 (method, params) choices.
+FANOUT_CONFIG = FanoutConfig()
 
 
 def _crc(parts) -> int:
@@ -299,6 +304,76 @@ def chaos_recovery(report: BenchReport) -> None:
     )
 
 
+def fanout_throughput(report: BenchReport) -> None:
+    """Fan-out gate: ≥1k subscribers, ≤8 configs — compress-once must win.
+
+    Runs the Zipf-skewed fan-out scenario (1024 subscribers over 64
+    channels, 8 distinct ``(method, params)`` choices) through the inline
+    sharded fabric and against the per-subscriber-compression baseline.
+    Everything is modeled-cost over deterministic link means, so the
+    numbers are exact run-to-run.  Hard gates (abort the bench run):
+
+    * every delivered frame byte-identical to the serial path
+      (per-subscriber CRC32 chains must match),
+    * block-cache hit rate ≥ 0.90,
+    * delivered events/second ≥ 3x the per-subscriber baseline.
+    """
+    result = run_fanout(FANOUT_CONFIG)
+    if not result.crc_ok:
+        raise AssertionError(
+            "fabric fan-out delivered different bytes than the serial path"
+        )
+    if result.cache_hit_rate < 0.90:
+        raise AssertionError(
+            f"block-cache hit rate {result.cache_hit_rate:.3f} < 0.90 gate"
+        )
+    if result.speedup < 3.0:
+        raise AssertionError(
+            f"fan-out throughput only {result.speedup:.2f}x baseline (< 3.0x gate)"
+        )
+
+    report.record(
+        "fanout.subscribers", result.subscribers, unit="subscribers",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fanout.deliveries", result.deliveries, unit="events",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fanout.wire_crc32", result.wire_crc32, unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fanout.codec_runs", result.fabric_compressions, unit="runs",
+        better="lower", tolerance=0.0,
+    )
+    report.record(
+        "fanout.baseline_codec_runs", result.baseline_compressions, unit="runs",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "fanout.cache_hit_rate", result.cache_hit_rate, unit="fraction",
+        better="higher", tolerance=0.02,
+    )
+    report.record(
+        "fanout.events_per_second", result.fabric_events_per_second, unit="events/s",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "fanout.baseline_events_per_second", result.baseline_events_per_second,
+        unit="events/s", better="higher", tolerance=0.05,
+    )
+    report.record(
+        "fanout.speedup", result.speedup, unit="x",
+        better="higher", tolerance=0.05,
+    )
+    report.record(
+        "fanout.shard_events_crc32", _crc(result.shard_events), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+
+
 def build_report() -> BenchReport:
     report = BenchReport(
         metadata={
@@ -321,12 +396,24 @@ def build_report() -> BenchReport:
                 "seed": CHAOS_SEED,
                 "plan": "bench-kitchen-sink",
             },
+            "fanout": {
+                "subscribers": FANOUT_CONFIG.subscribers,
+                "channels": FANOUT_CONFIG.channels,
+                "events": FANOUT_CONFIG.events,
+                "event_size": FANOUT_CONFIG.event_size,
+                "shards": FANOUT_CONFIG.shards,
+                "specs": len(FANOUT_CONFIG.specs),
+                "zipf_exponent": FANOUT_CONFIG.zipf_exponent,
+                "seed": FANOUT_CONFIG.seed,
+                "link": FANOUT_CONFIG.link,
+            },
         }
     )
     fig01_decision_sweep(report)
     fig08_replay(report)
     pool_throughput(report)
     chaos_recovery(report)
+    fanout_throughput(report)
     return report
 
 

@@ -46,15 +46,25 @@ done
 # engine.measure) must account for time through the engine, or the
 # measured/modeled mode switch silently stops covering it.  The real TCP
 # transport may read time.monotonic: actual network transfers are outside
-# the modeled-cost domain.
-echo "== invariant: clock reads only in core/engine.py, netsim/, middleware/tcp.py"
+# the modeled-cost domain.  The event fabric gets exactly ONE sanctioned
+# loop-time site (_loop_now in fabric/broker.py, threads-mode flush/close
+# deadlines) — enforced as an exact count below so a second read cannot
+# sneak in behind the exclusion.
+echo "== invariant: clock reads only in core/engine.py, netsim/, middleware/tcp.py, fabric/broker.py"
 stray=$(grep -rnE "time\.(perf_counter|monotonic|time)\(" src/repro --include="*.py" \
     | grep -v "src/repro/core/engine.py" \
     | grep -v "src/repro/netsim/" \
-    | grep -v "src/repro/middleware/tcp.py" || true)
+    | grep -v "src/repro/middleware/tcp.py" \
+    | grep -v "src/repro/fabric/broker.py" || true)
 if [ -n "$stray" ]; then
     echo "FAIL: clock read outside the sanctioned timing sites:" >&2
     echo "$stray" >&2
+    exit 1
+fi
+broker_reads=$(grep -cE "time\.(perf_counter|monotonic|time)\(" src/repro/fabric/broker.py || true)
+if [ "$broker_reads" != "1" ]; then
+    echo "FAIL: fabric/broker.py must contain exactly one clock read (_loop_now); found $broker_reads" >&2
+    grep -nE "time\.(perf_counter|monotonic|time)\(" src/repro/fabric/broker.py >&2 || true
     exit 1
 fi
 echo "ok"

@@ -247,6 +247,61 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fanout(args: argparse.Namespace) -> int:
+    """Run the fan-out load scenario through the event fabric."""
+    import json
+
+    from .fabric.loadgen import FanoutConfig, run_fanout
+
+    config = FanoutConfig(
+        subscribers=args.subscribers,
+        channels=args.channels,
+        events=args.events,
+        event_size=args.event_size,
+        shards=args.shards,
+        zipf_exponent=args.zipf,
+        seed=args.seed,
+        link=args.link,
+    )
+    result = run_fanout(config)
+    if args.json:
+        payload = dict(result.summary())
+        payload.update(
+            crc_ok=result.crc_ok,
+            wire_crc32=result.wire_crc32,
+            fabric_compressions=result.fabric_compressions,
+            baseline_compressions=result.baseline_compressions,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            shard_events=result.shard_events,
+        )
+        print(json.dumps(payload, indent=2))
+        return 0 if result.crc_ok else 1
+    print(
+        f"fan-out: {result.subscribers} subscribers, {result.channels_used} channels, "
+        f"{result.events_published} events published, {result.deliveries} deliveries "
+        f"(ratio {result.fanout_ratio:.1f})"
+    )
+    print(
+        f"fabric:   {result.fabric_seconds:.3f}s virtual "
+        f"({result.fabric_compressions} codec runs, "
+        f"{result.fabric_events_per_second:,.0f} deliveries/s)"
+    )
+    print(
+        f"baseline: {result.baseline_seconds:.3f}s virtual "
+        f"({result.baseline_compressions} codec runs, "
+        f"{result.baseline_events_per_second:,.0f} deliveries/s)"
+    )
+    print(
+        f"speedup {result.speedup:.1f}x   cache hit rate {result.cache_hit_rate:.1%} "
+        f"({result.cache_hits} hits / {result.cache_misses} misses, "
+        f"{result.cache_evictions} evictions)"
+    )
+    print(f"shard events: {result.shard_events}")
+    print(f"wire CRC32 {result.wire_crc32:#010x}  byte-identical to serial path: {result.crc_ok}")
+    return 0 if result.crc_ok else 1
+
+
 def _parse_budget(text: str) -> float:
     """Parse a wall budget like ``30``, ``30s``, or ``2m`` into seconds."""
     text = text.strip().lower()
@@ -421,6 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a JSONL crash corpus instead of fuzzing; exits 1 if any entry still fails",
     )
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "fanout",
+        help="run the fan-out load scenario (sharded fabric vs per-subscriber baseline)",
+    )
+    p.add_argument("--subscribers", type=int, default=1024, help="simulated subscriber count")
+    p.add_argument("--channels", type=int, default=64, help="channel population (Zipf-skewed)")
+    p.add_argument("--events", type=int, default=32, help="events published per channel")
+    p.add_argument("--event-size", type=int, default=8 * 1024, help="payload bytes per event")
+    p.add_argument("--shards", type=int, default=4, help="fabric shard count")
+    p.add_argument("--zipf", type=float, default=1.1, help="Zipf skew exponent")
+    p.add_argument("--seed", type=int, default=2004, help="scenario seed")
+    p.add_argument("--link", default="1gbit", help="netsim link profile")
+    p.add_argument("--json", action="store_true", help="emit the result as JSON")
+    p.set_defaults(func=cmd_fanout)
 
     p = sub.add_parser("figure", help="print a paper figure (1-7)")
     p.add_argument("number", type=int)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional, Tuple
 
 __all__ = [
     "ACCEPTABLE_DECODE_ERRORS",
@@ -23,6 +23,8 @@ __all__ = [
     "CodecError",
     "CorruptStreamError",
     "CompressionResult",
+    "canonical_params",
+    "params_label",
 ]
 
 
@@ -46,6 +48,69 @@ class CorruptStreamError(CodecError, ValueError):
 #: struct.error, a hang, ...) is a codec bug; the conformance kit and the
 #: fuzz gate both assert against this exact tuple.
 ACCEPTABLE_DECODE_ERRORS = (CorruptStreamError, EOFError)
+
+
+def _canonical_value(value: object) -> object:
+    """Normalize one parameter value for canonical comparison/hashing.
+
+    Numeric values that denote the same quantity canonicalize identically
+    (``6`` and ``6.0`` collapse to ``6``), mappings recurse into sorted
+    key order, and sequences become tuples.  Booleans are *tagged*: a
+    flag is not the number 1, but ``True == 1`` in Python, so a bare bool
+    would collide with an int under dict hashing.  Anything else must
+    already be hashable.
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, Mapping):
+        return tuple(
+            (str(k), _canonical_value(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    return value
+
+
+def canonical_params(
+    params: Optional[Mapping[str, object]],
+) -> Tuple[Tuple[str, object], ...]:
+    """Canonicalize a codec-parameter mapping into one hashable key.
+
+    Cache keys and metric labels must treat ``{"level": 6}`` and every
+    equivalent spelling (different insertion order, ``6.0`` for ``6``)
+    as the *same* configuration — otherwise a shared compressed-block
+    cache fragments and label cardinality multiplies.  This is the one
+    helper both sides use: keys are sorted, values normalized by
+    :func:`_canonical_value`, and ``None``/empty maps canonicalize to
+    the empty tuple.
+    """
+    if not params:
+        return ()
+    return tuple((str(k), _canonical_value(v)) for k, v in sorted(params.items()))
+
+
+def _label_value(value: object) -> str:
+    if isinstance(value, tuple) and len(value) == 2 and value[0] == "bool":
+        return str(value[1])  # unwrap the canonical bool tag
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def params_label(params) -> str:
+    """Render canonical params as a compact, stable metric-label value.
+
+    ``{"level": 6}`` -> ``"level=6"``; empty/None -> ``"-"`` (labels must
+    be non-empty strings).  Accepts either a raw mapping or an
+    already-canonical tuple from :func:`canonical_params` (cache keys
+    carry the latter); equivalent spellings always label identically.
+    """
+    canon = params if isinstance(params, tuple) else canonical_params(params)
+    if not canon:
+        return "-"
+    return ",".join(f"{key}={_label_value(value)}" for key, value in canon)
 
 
 class Codec(abc.ABC):

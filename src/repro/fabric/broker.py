@@ -1,0 +1,381 @@
+"""The sharded event fabric: compress-once, fan-out-many delivery.
+
+This is the delivery path that replaces thread-per-connection forwarding
+in the middleware.  Channels are sharded across N loops by stable CRC32
+of the channel id (:mod:`repro.fabric.sharding`): one shard owns each
+channel, so per-channel event order is preserved with no per-event
+locking, and shards progress independently — the broker scales with
+shard count, not with connection count.
+
+Per published event, the owning shard snapshots the channel's active
+subscriptions, groups them by ``(method, canonical_params)``, and runs
+the codec **once per group** through the shared
+:class:`~repro.fabric.cache.BlockCache` — every other subscriber in the
+group (and every later group on any channel that resolved to the same
+configuration for the same payload) is served the same immutable bytes.
+Wire-hungry sinks (sockets) additionally share one
+:class:`~repro.middleware.transport.WireFormat` frame per group,
+delivered as a zero-copy :class:`memoryview`.
+
+Ownership rules for sinks: the event payload and the wire view are
+**shared and immutable** — a sink must never mutate them and must copy
+(``bytes(view)``) before retaining past the callback.  ``sendall`` on a
+socket satisfies both.
+
+Two execution modes:
+
+* ``inline`` — ``publish`` processes synchronously on the caller's
+  thread.  Deterministic, clock-free, and what the simulation/bench
+  layers use: virtual time is charged by the caller from the returned
+  engine accounting, never read here.
+* ``threads`` — one worker thread per shard draining a FIFO queue; the
+  deployment mode :class:`~repro.middleware.tcp.ChannelServer` runs on.
+  The only wall-clock read is :func:`_loop_now` (flush/close deadlines),
+  the fabric's single sanctioned loop-time site enforced by
+  ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..compression.base import canonical_params
+from ..core.engine import CodecExecutor
+from ..middleware.attributes import (
+    ATTR_COMPRESSION_METHOD,
+    ATTR_COMPRESSION_SECONDS,
+    ATTR_ORIGINAL_SIZE,
+)
+from ..middleware.events import Event
+from ..middleware.transport import WireFormat
+from ..obs.fabric import (
+    record_fabric_delivery,
+    record_shard_queue_depth,
+)
+from ..obs.metrics import MetricsRegistry
+from .cache import BlockCache
+from .sharding import shard_index
+
+__all__ = ["EventFabric", "FabricSubscription", "DeliveryCallback"]
+
+#: ``callback(event, wire)`` — ``wire`` is a shared memoryview of the
+#: event's framed wire bytes when the subscription asked for it, else None.
+DeliveryCallback = Callable[[Event, Optional[memoryview]], None]
+
+_STOP = object()
+
+
+def _loop_now() -> float:
+    """The fabric's single sanctioned clock read (threads-mode deadlines)."""
+    return time.monotonic()
+
+
+class FabricSubscription:
+    """Handle for one fabric subscription; ``cancel`` is idempotent."""
+
+    def __init__(
+        self,
+        fabric: "EventFabric",
+        channel_id: str,
+        callback: DeliveryCallback,
+        method: str,
+        params: Optional[Mapping[str, object]],
+        wire: bool,
+    ) -> None:
+        self.fabric = fabric
+        self.channel_id = channel_id
+        self.callback = callback
+        self.method = method
+        self.params = dict(params) if params else None
+        self.wire = wire
+        self.active = True
+        self.delivered = 0
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self.fabric._remove(self)
+
+
+class EventFabric:
+    """N shard loops + one shared block cache = the delivery fabric."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        executor: Optional[CodecExecutor] = None,
+        cache: Optional[BlockCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        mode: str = "inline",
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if mode not in ("inline", "threads"):
+            raise ValueError("mode must be 'inline' or 'threads'")
+        self.shard_count = shards
+        self.mode = mode
+        self.registry = registry
+        self.executor = (
+            executor
+            if executor is not None
+            else CodecExecutor(expansion_fallback=True)
+        )
+        self.cache = cache if cache is not None else BlockCache(registry=registry)
+        self._subscriptions: Dict[str, List[FabricSubscription]] = {}
+        self._lock = threading.Lock()
+        self.events_published = 0
+        self.deliveries_total = 0
+        self.compressions_total = 0
+        self.subscriber_errors = 0
+        self.shard_events = [0] * shards
+        self._closed = False
+        if mode == "threads":
+            self._queues: List["queue.Queue"] = [queue.Queue() for _ in range(shards)]
+            self._pending = 0
+            self._idle = threading.Condition()
+            self._threads = [
+                threading.Thread(
+                    target=self._shard_loop, args=(i,), daemon=True,
+                    name=f"fabric-shard-{i}",
+                )
+                for i in range(shards)
+            ]
+            for thread in self._threads:
+                thread.start()
+
+    # -- subscription ------------------------------------------------------------
+
+    def subscribe(
+        self,
+        channel_id: str,
+        callback: DeliveryCallback,
+        method: str = "none",
+        params: Optional[Mapping[str, object]] = None,
+        wire: bool = False,
+    ) -> FabricSubscription:
+        """Register ``callback`` for ``channel_id``.
+
+        ``method``/``params`` name the compression configuration this
+        subscriber wants applied to payloads (``none`` = passthrough);
+        subscribers sharing a configuration share one codec run per
+        event.  ``wire=True`` additionally hands the callback a shared
+        memoryview of the framed wire bytes.
+        """
+        subscription = FabricSubscription(self, channel_id, callback, method, params, wire)
+        with self._lock:
+            self._subscriptions.setdefault(channel_id, []).append(subscription)
+        return subscription
+
+    def _remove(self, subscription: FabricSubscription) -> None:
+        with self._lock:
+            members = self._subscriptions.get(subscription.channel_id)
+            if members and subscription in members:
+                members.remove(subscription)
+                if not members:
+                    del self._subscriptions[subscription.channel_id]
+
+    def subscriber_count(self, channel_id: Optional[str] = None) -> int:
+        with self._lock:
+            if channel_id is not None:
+                return len(self._subscriptions.get(channel_id, []))
+            return sum(len(members) for members in self._subscriptions.values())
+
+    def channels(self) -> List[str]:
+        with self._lock:
+            return sorted(self._subscriptions)
+
+    def shard_of(self, channel_id: str) -> int:
+        """The shard that owns ``channel_id`` (stable under churn)."""
+        return shard_index(channel_id, self.shard_count)
+
+    # -- publication -------------------------------------------------------------
+
+    def publish(self, channel_id: str, event: Event) -> None:
+        """Deliver ``event`` to every subscriber of ``channel_id``.
+
+        Inline mode processes now, on this thread; threads mode enqueues
+        to the owning shard's FIFO (per-channel order preserved).
+        """
+        self._dispatch(self.shard_of(channel_id), ("event", channel_id, event))
+
+    def submit_channel(self, channel, event: Event) -> None:
+        """Deliver a bound :class:`~repro.middleware.channels.EventChannel`'s
+        event on the shard that owns it (the ``bind_fabric`` back-half).
+
+        The channel keeps its own subscriber/derivation bookkeeping; the
+        fabric only supplies the ordering domain, so channel semantics
+        are unchanged in inline mode and merely serialized per shard in
+        threads mode.
+        """
+        self._dispatch(
+            self.shard_of(channel.channel_id),
+            ("call", lambda: channel._deliver_direct(event), None),
+        )
+
+    def defer(self, channel_id: str, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` on the shard that owns ``channel_id``.
+
+        The hook transport bridges use to route their deliveries through
+        the fabric's ordering domain without the fabric knowing about
+        bridges.
+        """
+        self._dispatch(self.shard_of(channel_id), ("call", thunk, None))
+
+    def _dispatch(self, shard: int, item: Tuple[str, object, object]) -> None:
+        if self._closed:
+            raise RuntimeError("fabric is closed")
+        if self.mode == "inline":
+            self._execute_item(shard, item)
+            return
+        with self._idle:
+            self._pending += 1
+        self._queues[shard].put(item)
+        if self.registry is not None:
+            record_shard_queue_depth(self.registry, shard, self._queues[shard].qsize())
+
+    def _execute_item(self, shard: int, item: Tuple[str, object, object]) -> None:
+        kind, a, b = item
+        if kind == "event":
+            self._process_event(shard, a, b)  # type: ignore[arg-type]
+        else:
+            a()  # type: ignore[operator]
+
+    # -- shard loops -------------------------------------------------------------
+
+    def _shard_loop(self, shard: int) -> None:
+        q = self._queues[shard]
+        while True:
+            try:
+                item = q.get(timeout=0.05)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is _STOP:
+                return
+            try:
+                self._execute_item(shard, item)
+            except Exception:
+                # A sink blew up on a shard thread: isolate, never kill
+                # the loop (its other channels must keep flowing).
+                self.subscriber_errors += 1
+            finally:
+                with self._idle:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.notify_all()
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until every queued item has been processed (threads mode)."""
+        if self.mode == "inline":
+            return True
+        deadline = _loop_now() + timeout
+        with self._idle:
+            while self._pending > 0:
+                remaining = deadline - _loop_now()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain and stop the shard loops; idempotent."""
+        if self._closed:
+            return
+        if self.mode == "threads":
+            self.flush(timeout)
+            self._closed = True
+            for q in self._queues:
+                q.put(_STOP)
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        else:
+            self._closed = True
+
+    # -- delivery ----------------------------------------------------------------
+
+    def _process_event(self, shard: int, channel_id: str, event: Event) -> None:
+        with self._lock:
+            members = [
+                s for s in self._subscriptions.get(channel_id, ()) if s.active
+            ]
+        groups: "OrderedDict[Tuple[str, Tuple], List[FabricSubscription]]" = OrderedDict()
+        for subscription in members:
+            key = (subscription.method, canonical_params(subscription.params))
+            groups.setdefault(key, []).append(subscription)
+        deliveries = 0
+        compressions = 0
+        for (method, _), group in groups.items():
+            delivered, hit = self._prepare(event, method, group[0].params)
+            if method != "none" and not hit:
+                compressions += 1
+            wire: Optional[memoryview] = None
+            for subscription in group:
+                if not subscription.active:
+                    continue
+                if subscription.wire and wire is None:
+                    # One frame per group, shared zero-copy by all sinks.
+                    wire = memoryview(WireFormat.encode(delivered))
+                try:
+                    subscription.callback(delivered, wire if subscription.wire else None)
+                except Exception:
+                    # Threads mode isolates a blown sink from its peers
+                    # (its channel must keep flowing for everyone else);
+                    # inline mode stays loud — test/bench callers want
+                    # the stack trace, not a counter.
+                    if self.mode == "inline":
+                        raise
+                    self.subscriber_errors += 1
+                    continue
+                subscription.delivered += 1
+                deliveries += 1
+        self.events_published += 1
+        self.deliveries_total += deliveries
+        self.compressions_total += compressions
+        self.shard_events[shard] += 1
+        if self.registry is not None:
+            record_fabric_delivery(
+                self.registry,
+                shard=shard,
+                deliveries=deliveries,
+                compressions=compressions,
+                events_total=self.events_published,
+                deliveries_total=self.deliveries_total,
+            )
+
+    def _prepare(
+        self,
+        event: Event,
+        method: str,
+        params: Optional[Mapping[str, object]],
+    ) -> Tuple[Event, bool]:
+        """The compressed (or passthrough) event for one delivery group.
+
+        Attribute layout matches
+        :class:`~repro.middleware.handlers.CompressionHandler` exactly,
+        so a fabric delivery is byte-identical on the wire to the serial
+        per-subscriber path (the fan-out bench's CRC gate).
+        """
+        if method == "none":
+            return event, False
+        execution, hit = self.cache.execute(self.executor, method, event.payload, params)
+        attributes = {
+            ATTR_COMPRESSION_METHOD: execution.method,
+            ATTR_ORIGINAL_SIZE: event.size,
+            ATTR_COMPRESSION_SECONDS: execution.seconds,
+        }
+        if execution.method == "none":
+            # Expansion guard fell back: original bytes, truthful method.
+            return event.with_attributes(**attributes), hit
+        return event.with_payload(execution.payload, **attributes), hit
+
+    @property
+    def fanout_ratio(self) -> float:
+        """Deliveries per published event (the compress-once multiplier)."""
+        if not self.events_published:
+            return 0.0
+        return self.deliveries_total / self.events_published

@@ -1,0 +1,224 @@
+"""The shared compressed-block cache behind compress-once/fan-out-many.
+
+The paper's exchange model compresses per publish-subscribe channel;
+at fan-out scale that repeats identical codec work every time several
+derived channels resolve to the same method for the same payload.  This
+module is the amortization point: a bounded LRU keyed by
+``(payload_crc32, payload_length, method, canonical_params)`` whose
+values are the compressed wire bytes plus the engine-accounted cost of
+producing them.  The first subscriber group pays the codec; every other
+group that resolved to the same configuration is served the *same*
+``bytes`` object (zero-copy — consumers take :class:`memoryview` slices,
+never mutate, and must copy before retaining past the delivery).
+
+Keying discipline: the payload is identified by CRC32 **and length**
+(length is free and removes the cheap collision class), the method by
+its registry name, and the parameters by
+:func:`repro.compression.base.canonical_params` — so ``{"level": 6}``
+and every equivalent spelling share one entry.  Compression itself still
+routes through a :class:`~repro.core.engine.CodecExecutor`: the cache
+never runs a codec, it only remembers executions, so the one-timing-site
+and expansion-guard invariants keep holding.
+
+Bounds: both an entry count and a byte budget; eviction is strict LRU
+from the cold end, and a block bigger than the byte budget is returned
+uncached rather than evicting the whole cache for one giant payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from ..compression.base import canonical_params, params_label
+from ..core.engine import BlockExecution, CodecExecutor
+from ..obs.fabric import (
+    record_cache_eviction,
+    record_cache_hit,
+    record_cache_miss,
+    record_cache_size,
+)
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["BlockCache", "CacheKey", "CachedBlock"]
+
+#: ``(payload_crc32, payload_length, method, canonical_params)``.
+CacheKey = Tuple[int, int, str, Tuple[Tuple[str, object], ...]]
+
+
+@dataclass(frozen=True)
+class CachedBlock:
+    """One remembered compression: the wire bytes and what they cost.
+
+    ``payload`` is shared by every consumer (bytes are immutable); the
+    ``view`` property hands out a zero-copy :class:`memoryview` for
+    socket writes and frame assembly.  ``method`` is the method that
+    actually produced the bytes — it differs from ``requested_method``
+    when the expansion guard fell back to ``none``.
+    """
+
+    requested_method: str
+    method: str
+    original_size: int
+    payload: bytes
+    seconds: float
+    fell_back: bool = False
+
+    @property
+    def view(self) -> memoryview:
+        return memoryview(self.payload)
+
+    def as_execution(self) -> BlockExecution:
+        """Re-materialize the engine's execution record for observers."""
+        return BlockExecution(
+            requested_method=self.requested_method,
+            method=self.method,
+            original_size=self.original_size,
+            payload=self.payload,
+            seconds=self.seconds,
+            fell_back=self.fell_back,
+        )
+
+
+class BlockCache:
+    """Bounded LRU of :class:`CachedBlock`, keyed by payload+configuration.
+
+    Thread-safe: shards of the fabric share one instance, and the lock
+    only guards the map bookkeeping — codec runs happen outside it (a
+    racing duplicate compression is benign and byte-identical, losing
+    only the amortization for that one event).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        max_bytes: int = 64 * 1024 * 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.registry = registry
+        self._entries: "OrderedDict[CacheKey, CachedBlock]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.bytes_held = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keying ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        payload: bytes, method: str, params: Optional[Mapping[str, object]] = None
+    ) -> CacheKey:
+        """The canonical cache key for one (payload, configuration) pair."""
+        return (zlib.crc32(payload), len(payload), method, canonical_params(params))
+
+    # -- the compress-once entry point -------------------------------------------
+
+    def execute(
+        self,
+        executor: CodecExecutor,
+        method: str,
+        payload: bytes,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[BlockExecution, bool]:
+        """Compress once per configuration; returns ``(execution, hit)``.
+
+        A hit replays the remembered execution (same bytes object, same
+        accounted seconds — the cost that was actually paid, once); a
+        miss runs the executor and caches the outcome.  Method ``none``
+        is never cached: passthrough costs nothing to "recompute".
+        """
+        label = params_label(params)
+        if method == "none":
+            return executor.compress(method, payload), False
+        key = self.key_for(payload, method, params)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            if self.registry is not None:
+                record_cache_hit(self.registry, method, label)
+            return cached.as_execution(), True
+        execution = executor.compress(method, payload)
+        with self._lock:
+            self.misses += 1
+        block = CachedBlock(
+            requested_method=execution.requested_method,
+            method=execution.method,
+            original_size=execution.original_size,
+            payload=execution.payload,
+            seconds=execution.seconds,
+            fell_back=execution.fell_back,
+        )
+        self._store(key, block, method, label)
+        if self.registry is not None:
+            record_cache_miss(self.registry, method, label)
+            record_cache_size(self.registry, self.bytes_held, len(self._entries))
+        return execution, False
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _store(self, key: CacheKey, block: CachedBlock, method: str, label: str) -> None:
+        size = len(block.payload)
+        if size > self.max_bytes:
+            return  # one oversized block must not flush the whole cache
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.bytes_held -= len(previous.payload)
+            self._entries[key] = block
+            self.bytes_held += size
+            evicted = []
+            while (
+                len(self._entries) > self.max_entries
+                or self.bytes_held > self.max_bytes
+            ):
+                old_key, old_block = self._entries.popitem(last=False)
+                self.bytes_held -= len(old_block.payload)
+                self.evictions += 1
+                evicted.append(old_key)
+        if self.registry is not None:
+            for old_key in evicted:
+                record_cache_eviction(self.registry, old_key[2], params_label(old_key[3]))
+
+    # -- views -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """A snapshot for CLI output and bench reports."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes_held,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes_held = 0

@@ -1,0 +1,38 @@
+"""Stable channel-to-shard assignment for the event fabric.
+
+The fabric runs N independent shard loops; every channel is owned by
+exactly one shard so per-channel event order is preserved without locks.
+The assignment must be *stable* — the same channel id maps to the same
+shard on every call, in every process, across subscribe/unsubscribe
+churn — so it is a pure function of the channel id bytes (CRC32, never
+Python's salted ``hash``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List
+
+__all__ = ["shard_index", "shard_assignments", "shard_load"]
+
+
+def shard_index(channel_id: str, shard_count: int) -> int:
+    """The shard that owns ``channel_id`` (stable CRC32 placement)."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be positive")
+    return zlib.crc32(channel_id.encode("utf-8")) % shard_count
+
+
+def shard_assignments(
+    channel_ids: Iterable[str], shard_count: int
+) -> Dict[str, int]:
+    """Map every channel id to its owning shard."""
+    return {cid: shard_index(cid, shard_count) for cid in channel_ids}
+
+
+def shard_load(channel_ids: Iterable[str], shard_count: int) -> List[int]:
+    """Channels per shard — the balance view tests and metrics read."""
+    load = [0] * shard_count
+    for cid in channel_ids:
+        load[shard_index(cid, shard_count)] += 1
+    return load

@@ -55,6 +55,23 @@ class EventChannel:
         self._sequence = 0
         self.submitted = 0
         self.delivered_bytes = 0
+        self._fabric = None
+
+    def bind_fabric(self, fabric) -> None:
+        """Route this channel's dispatch through an event fabric.
+
+        Once bound, delivery runs on the shard that owns this channel id
+        (:meth:`EventFabric.submit_channel <repro.fabric.broker.EventFabric.submit_channel>`):
+        synchronous in the fabric's inline mode — identical semantics to
+        the unbound channel — and serialized on a shard loop in threads
+        mode.  Duck-typed on purpose: the middleware stays importable
+        without the fabric package.
+        """
+        self._fabric = fabric
+
+    def unbind_fabric(self) -> None:
+        """Return to direct in-thread dispatch."""
+        self._fabric = None
 
     # -- subscription -----------------------------------------------------------
 
@@ -127,6 +144,12 @@ class EventChannel:
         self._dispatch(event)
 
     def _dispatch(self, stamped: Event) -> None:
+        if self._fabric is not None:
+            self._fabric.submit_channel(self, stamped)
+        else:
+            self._deliver_direct(stamped)
+
+    def _deliver_direct(self, stamped: Event) -> None:
         # Snapshot the eligible routes before delivering: a callback may
         # re-subscribe mid-delivery (the adaptive consumer switching
         # methods), and the event must not flow through both the old and

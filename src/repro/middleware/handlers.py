@@ -60,6 +60,12 @@ class CompressionHandler:
     the original payload with method ``none`` — the time spent is still
     recorded, but the receiver never pays to decode a larger-than-original
     payload.
+
+    ``cache`` (duck-typed: anything with the
+    :meth:`repro.fabric.cache.BlockCache.execute` signature) makes
+    several handlers sharing one cache compress each distinct payload
+    once per ``(method, params)`` configuration; ``params`` names this
+    handler's codec-parameter choice for cache keying and metric labels.
     """
 
     def __init__(
@@ -71,6 +77,8 @@ class CompressionHandler:
         registry: Optional[MetricsRegistry] = None,
         channel: str = "handler",
         pool: Optional["object"] = None,
+        cache: Optional["object"] = None,
+        params: Optional[dict] = None,
     ) -> None:
         self.method = method
         self.codec = get_codec(method)
@@ -78,6 +86,9 @@ class CompressionHandler:
         self.cpu = cpu
         self.registry = registry
         self.channel = channel
+        self.cache = cache
+        self.params = dict(params) if params else None
+        self.cache_hits = 0
         self.executor = (
             executor
             if executor is not None
@@ -87,7 +98,14 @@ class CompressionHandler:
         )
 
     def __call__(self, event: Event) -> Event:
-        execution = self.executor.compress(self.method, event.payload)
+        if self.cache is not None:
+            execution, hit = self.cache.execute(
+                self.executor, self.method, event.payload, self.params
+            )
+            if hit:
+                self.cache_hits += 1
+        else:
+            execution = self.executor.compress(self.method, event.payload)
         if self.registry is not None:
             record_execution(
                 self.registry,

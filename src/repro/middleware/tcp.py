@@ -13,7 +13,13 @@ Design (kept deliberately simple and dependency-free):
   sends one subscription request frame naming a channel id; the server
   subscribes to that channel on the client's behalf and forwards every
   event as one :class:`~repro.middleware.transport.WireFormat` frame.
-  One thread per connection.
+  Forwarding runs on a sharded
+  :class:`~repro.fabric.broker.EventFabric` (threads mode): each offered
+  channel is published into the fabric, every connection registers a
+  socket sink on the shard that owns its channel, and all sinks of one
+  channel share a single frame encode per event (zero-copy memoryview
+  fan-out).  The per-connection thread that remains only watches for
+  client EOF — it no longer carries event traffic.
 * :class:`RemoteChannel` — connects, subscribes, and replays incoming
   frames into a local mirror :class:`~repro.middleware.channels.EventChannel`
   from a reader thread, annotating each event with its measured transfer
@@ -99,6 +105,14 @@ class ChannelServer:
     (``repro_tcp_frames_forwarded_total``, ``repro_tcp_wire_bytes_total``)
     alongside a subscription counter — the server-side half of the
     §3 "transport performance information" the IQ layer propagates.
+
+    Forwarding is fabric-routed: offered channels publish into a
+    threads-mode :class:`~repro.fabric.broker.EventFabric` (owned by the
+    server unless one is passed in), connections register socket sinks
+    on the owning shard, and every sink of one channel shares a single
+    wire frame per event.  Per-channel delivery order is the shard's
+    FIFO order — identical to the old one-thread-per-connection path,
+    but with N shard loops instead of one thread per subscriber.
     """
 
     def __init__(
@@ -106,15 +120,28 @@ class ChannelServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        fabric: Optional["object"] = None,
+        shards: int = 4,
     ) -> None:
         self.registry = registry
+        if fabric is None:
+            # Imported here, not at module scope: the middleware package
+            # must stay importable independent of the fabric package.
+            from ..fabric.broker import EventFabric
+
+            fabric = EventFabric(shards=shards, mode="threads", registry=registry)
+            self._owns_fabric = True
+        else:
+            self._owns_fabric = False
+        self.fabric = fabric
         self._channels: Dict[str, EventChannel] = {}
+        self._taps: Dict[str, Subscription] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(16)
         self._running = True
-        self._threads: List[threading.Thread] = []
+        self._connections: List[Tuple[threading.Thread, socket.socket]] = []
         self._lock = threading.Lock()
         self.connections_served = 0
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
@@ -126,9 +153,21 @@ class ChannelServer:
         return self._listener.getsockname()
 
     def offer(self, channel: EventChannel) -> None:
-        """Make ``channel`` subscribable by remote clients."""
+        """Make ``channel`` subscribable by remote clients.
+
+        The channel is tapped once: every delivered event is republished
+        into the fabric, which fans it out to however many remote
+        subscribers the channel has.  Offering twice is idempotent.
+        """
         with self._lock:
+            if channel.channel_id in self._channels:
+                return
             self._channels[channel.channel_id] = channel
+        tap = channel.subscribe(
+            lambda event, _id=channel.channel_id: self.fabric.publish(_id, event)
+        )
+        with self._lock:
+            self._taps[channel.channel_id] = tap
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -146,10 +185,16 @@ class ChannelServer:
                 target=self._serve_client, args=(connection,), daemon=True
             )
             thread.start()
-            self._threads.append(thread)
+            with self._lock:
+                # Prune finished connections so a long-lived server's
+                # bookkeeping stays bounded by *live* connections.
+                self._connections = [
+                    (t, s) for t, s in self._connections if t.is_alive()
+                ]
+                self._connections.append((thread, connection))
 
     def _serve_client(self, connection: socket.socket) -> None:
-        subscription: Optional[Subscription] = None
+        subscription = None
         send_lock = threading.Lock()
         try:
             request = FrameReader(connection).next_frame()
@@ -161,9 +206,11 @@ class ChannelServer:
             if channel is None:
                 _send_frame(connection, b"ERR unknown channel")
                 return
-            def forward(event: Event) -> None:
-                # WireFormat output is already one self-delimiting frame.
-                wire = WireFormat.encode(event)
+
+            def sink(event: Event, wire) -> None:
+                # The fabric hands every sink of this channel the same
+                # shared memoryview — one encode per event, not per
+                # subscriber.  sendall never mutates, so no copy.
                 try:
                     with send_lock:
                         connection.sendall(wire)
@@ -183,7 +230,7 @@ class ChannelServer:
 
             # Subscribe BEFORE acking: the moment the client sees OK it may
             # submit events, and an ack-then-subscribe window would drop them.
-            subscription = channel.subscribe(forward)
+            subscription = self.fabric.subscribe(channel_id, sink, wire=True)
             _send_frame(connection, b"OK")
             self.connections_served += 1
             if self.registry is not None:
@@ -204,8 +251,16 @@ class ChannelServer:
             except OSError:
                 pass
 
-    def close(self) -> None:
-        """Stop accepting and drop the listener."""
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop accepting, disconnect clients, and join every thread.
+
+        Shutdown is complete, not best-effort: the listener is woken and
+        closed, every live client socket is shut down (which unblocks its
+        reader thread's ``recv``), and the accept thread plus all
+        per-connection reader threads are joined under ``timeout`` — no
+        orphaned daemon threads left spinning against closed sockets.
+        The owned fabric (if any) is drained and stopped last.
+        """
         self._running = False
         try:
             # Wake a blocked accept(2) *before* closing: close() alone
@@ -218,6 +273,27 @@ class ChannelServer:
             self._listener.close()
         except OSError:
             pass
+        self._accept_thread.join(timeout=timeout)
+        with self._lock:
+            connections = list(self._connections)
+            self._connections = []
+            taps = list(self._taps.values())
+            self._taps = {}
+        for tap in taps:
+            tap.cancel()
+        for _, sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread, _ in connections:
+            thread.join(timeout=timeout)
+        if self._owns_fabric:
+            self.fabric.close(timeout=timeout)
 
 
 class RemoteChannel:

@@ -113,6 +113,12 @@ class TransportBridge:
     Exhausting the budget raises
     :class:`~repro.netsim.faults.FaultExhaustedError` — faults are loud,
     never silent data loss.
+
+    ``fabric`` (duck-typed: anything with
+    :meth:`repro.fabric.broker.EventFabric.defer`) routes each export's
+    deliveries onto the shard that owns the local channel id, so bridge
+    traffic shares the fabric's per-channel ordering domain instead of
+    running on whichever thread submitted the event.
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class TransportBridge:
         advance_clock: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        fabric: Optional["object"] = None,
     ) -> None:
         self.link = link
         self.clock = clock
@@ -130,6 +137,7 @@ class TransportBridge:
         self.advance_clock = advance_clock
         self.fault_plan = fault_plan
         self.retry = retry if retry is not None else RetryPolicy()
+        self.fabric = fabric
         self.stats = TransportStats()
         self._wire_index = 0
         self._exports: List[Tuple[EventChannel, EventChannel, Subscription]] = []
@@ -139,7 +147,10 @@ class TransportBridge:
         mirror = remote if remote is not None else EventChannel(f"{local.channel_id}@remote")
 
         def forward(event: Event) -> None:
-            self._deliver(event, mirror)
+            if self.fabric is not None:
+                self.fabric.defer(local.channel_id, lambda: self._deliver(event, mirror))
+            else:
+                self._deliver(event, mirror)
 
         subscription = local.subscribe(forward)
         self._exports.append((local, mirror, subscription))

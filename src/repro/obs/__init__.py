@@ -12,7 +12,10 @@ One home for everything the system knows about itself:
   fallbacks;
 * :mod:`repro.obs.benchfmt` — the machine-readable benchmark-result
   schema and the tolerance-band regression comparator behind the CI
-  bench-smoke gate.
+  bench-smoke gate;
+* :mod:`repro.obs.fabric` — the ``repro_fabric_*`` metric vocabulary for
+  the sharded event fabric (cache hits/misses/evictions, shard queue
+  depth, fan-out ratio), labels bounded by method + canonical params.
 
 Nothing here reads wall-clock time: values arrive from the sanctioned
 timing sites (:mod:`repro.core.engine`, ``netsim``) or from virtual
@@ -29,6 +32,14 @@ from .benchfmt import (
     load_report,
 )
 from .block import BlockTelemetry, record_execution
+from .fabric import (
+    record_cache_eviction,
+    record_cache_hit,
+    record_cache_miss,
+    record_cache_size,
+    record_fabric_delivery,
+    record_shard_queue_depth,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -55,6 +66,12 @@ __all__ = [
     "get_registry",
     "load_report",
     "read_trace",
+    "record_cache_eviction",
+    "record_cache_hit",
+    "record_cache_miss",
+    "record_cache_size",
     "record_execution",
+    "record_fabric_delivery",
+    "record_shard_queue_depth",
     "set_registry",
 ]

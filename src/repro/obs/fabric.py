@@ -1,0 +1,117 @@
+"""Fabric metric vocabulary: one home for every ``repro_fabric_*`` name.
+
+The event fabric (``repro.fabric``) is the compress-once/fan-out-many
+delivery path; these helpers fold its self-measurements into a
+:class:`~repro.obs.metrics.MetricsRegistry` under a fixed vocabulary so
+the cache, the shard loops, and the load generator all land in the same
+families — and so tests and the bench gate can read hit rates and
+fan-out ratios from one place.
+
+Label discipline (bounded cardinality): shards are labeled by index,
+compression groups by ``method`` plus the *canonical* params label from
+:func:`repro.compression.base.params_label` — never by channel id, which
+is unbounded at fabric scale.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "CACHE_HITS_TOTAL",
+    "CACHE_MISSES_TOTAL",
+    "CACHE_EVICTIONS_TOTAL",
+    "CACHE_BYTES",
+    "CACHE_ENTRIES",
+    "FABRIC_EVENTS_TOTAL",
+    "FABRIC_DELIVERIES_TOTAL",
+    "FABRIC_COMPRESSIONS_TOTAL",
+    "FABRIC_FANOUT_RATIO",
+    "FABRIC_SHARD_QUEUE_DEPTH",
+    "record_cache_hit",
+    "record_cache_miss",
+    "record_cache_eviction",
+    "record_cache_size",
+    "record_fabric_delivery",
+    "record_shard_queue_depth",
+]
+
+#: Shared compressed-block cache (repro.fabric.cache).
+CACHE_HITS_TOTAL = "repro_fabric_cache_hits_total"
+CACHE_MISSES_TOTAL = "repro_fabric_cache_misses_total"
+CACHE_EVICTIONS_TOTAL = "repro_fabric_cache_evictions_total"
+CACHE_BYTES = "repro_fabric_cache_bytes"
+CACHE_ENTRIES = "repro_fabric_cache_entries"
+
+#: Shard loops (repro.fabric.broker).
+FABRIC_EVENTS_TOTAL = "repro_fabric_events_total"
+FABRIC_DELIVERIES_TOTAL = "repro_fabric_deliveries_total"
+FABRIC_COMPRESSIONS_TOTAL = "repro_fabric_compressions_total"
+FABRIC_FANOUT_RATIO = "repro_fabric_fanout_ratio"
+FABRIC_SHARD_QUEUE_DEPTH = "repro_fabric_shard_queue_depth"
+
+
+def record_cache_hit(registry: MetricsRegistry, method: str, params: str) -> None:
+    """Count one block served from the shared cache."""
+    registry.counter(
+        CACHE_HITS_TOTAL, help="compressed blocks served from the shared cache"
+    ).inc(method=method, params=params)
+
+
+def record_cache_miss(registry: MetricsRegistry, method: str, params: str) -> None:
+    """Count one block that had to be compressed (then cached)."""
+    registry.counter(
+        CACHE_MISSES_TOTAL, help="cache misses that ran the codec"
+    ).inc(method=method, params=params)
+
+
+def record_cache_eviction(registry: MetricsRegistry, method: str, params: str) -> None:
+    """Count one LRU eviction under the cache's entry/byte bounds."""
+    registry.counter(
+        CACHE_EVICTIONS_TOTAL, help="LRU evictions from the shared block cache"
+    ).inc(method=method, params=params)
+
+
+def record_cache_size(registry: MetricsRegistry, bytes_held: int, entries: int) -> None:
+    """Publish the cache's current footprint."""
+    registry.gauge(CACHE_BYTES, help="compressed bytes held by the cache").set(bytes_held)
+    registry.gauge(CACHE_ENTRIES, help="entries held by the cache").set(entries)
+
+
+def record_fabric_delivery(
+    registry: MetricsRegistry,
+    shard: int,
+    deliveries: int,
+    compressions: int,
+    events_total: int,
+    deliveries_total: int,
+) -> None:
+    """Fold one processed event into the shard's fabric counters.
+
+    ``deliveries`` is this event's fan-out (subscriptions served) and
+    ``compressions`` how many codec runs it took (cache misses only);
+    the running totals feed the fan-out ratio gauge — delivered events
+    per published event, the number the compress-once story scales.
+    """
+    shard_label = str(shard)
+    registry.counter(
+        FABRIC_EVENTS_TOTAL, help="events processed by fabric shards"
+    ).inc(shard=shard_label)
+    registry.counter(
+        FABRIC_DELIVERIES_TOTAL, help="subscriber deliveries fanned out"
+    ).inc(deliveries, shard=shard_label)
+    if compressions:
+        registry.counter(
+            FABRIC_COMPRESSIONS_TOTAL, help="codec runs the fabric actually paid for"
+        ).inc(compressions, shard=shard_label)
+    if events_total:
+        registry.gauge(
+            FABRIC_FANOUT_RATIO, help="deliveries per published event (running)"
+        ).set(deliveries_total / events_total)
+
+
+def record_shard_queue_depth(registry: MetricsRegistry, shard: int, depth: int) -> None:
+    """Publish one shard's current queue depth."""
+    registry.gauge(
+        FABRIC_SHARD_QUEUE_DEPTH, help="pending events per fabric shard"
+    ).set(depth, shard=str(shard))

@@ -1,0 +1,50 @@
+"""Canonical codec-parameter normalization (one helper, one spelling)."""
+
+from collections import OrderedDict
+
+from repro.compression.base import canonical_params, params_label
+
+
+def test_empty_and_none_collapse():
+    assert canonical_params(None) == ()
+    assert canonical_params({}) == ()
+    assert params_label(None) == "-"
+    assert params_label({}) == "-"
+
+
+def test_key_order_is_canonical():
+    a = canonical_params({"level": 6, "window": 32768})
+    b = canonical_params(OrderedDict([("window", 32768), ("level", 6)]))
+    assert a == b
+    assert params_label({"level": 6, "window": 32768}) == params_label(
+        OrderedDict([("window", 32768), ("level", 6)])
+    )
+
+
+def test_integral_floats_normalize_to_int():
+    assert canonical_params({"level": 6}) == canonical_params({"level": 6.0})
+    # Non-integral floats stay floats — 6.5 is a different configuration.
+    assert canonical_params({"level": 6.5}) != canonical_params({"level": 6})
+
+
+def test_bool_is_not_an_int():
+    # True == 1 in Python; a flag and a count must not share an entry.
+    assert canonical_params({"flag": True}) != canonical_params({"flag": 1})
+
+
+def test_nested_values_normalize_recursively():
+    a = canonical_params({"tables": {"b": 2.0, "a": 1}, "order": [1, 2.0]})
+    b = canonical_params({"order": (1, 2), "tables": {"a": 1, "b": 2}})
+    assert a == b
+
+
+def test_canonical_params_are_hashable():
+    key = canonical_params({"tables": {"a": [1, 2]}, "level": 6.0})
+    assert hash(key) == hash(canonical_params({"level": 6, "tables": {"a": (1, 2)}}))
+    assert len({key, canonical_params({"level": 6, "tables": {"a": (1, 2)}})}) == 1
+
+
+def test_label_is_stable_and_readable():
+    label = params_label({"window": 32768, "level": 6})
+    assert label == "level=6,window=32768"
+    assert params_label({"table": "canonical"}) == "table='canonical'"

@@ -1,0 +1,228 @@
+"""EventFabric: byte-exact fan-out, compress-once grouping, mode parity."""
+
+import zlib
+
+import pytest
+
+from repro.core.engine import CodecExecutor
+from repro.fabric.broker import EventFabric
+from repro.middleware.events import Event
+from repro.middleware.handlers import CompressionHandler
+from repro.middleware.transport import WireFormat
+from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE
+
+PAYLOAD = (b"configurable compression for event fabrics " * 64)[:2048]
+
+
+def modeled_executor():
+    return CodecExecutor(cost_model=DEFAULT_COSTS, cpu=SUN_FIRE, expansion_fallback=True)
+
+
+class CountingExecutor(CodecExecutor):
+    def __init__(self):
+        super().__init__(cost_model=DEFAULT_COSTS, cpu=SUN_FIRE, expansion_fallback=True)
+        self.runs = 0
+
+    def compress(self, method, block, codec=None):
+        self.runs += 1
+        return super().compress(method, block, codec=codec)
+
+
+def make_event(sequence=1, channel_id="feed/0", payload=PAYLOAD):
+    return Event(
+        payload=payload, channel_id=channel_id, sequence=sequence, timestamp=0.0
+    )
+
+
+def test_wire_bytes_identical_to_serial_compression_handler():
+    # The hard fabric invariant: routing through the cache and the shard
+    # grouping must produce *byte-identical* frames to the serial
+    # per-subscriber CompressionHandler path.
+    event = make_event()
+    for method in ("huffman", "lempel-ziv", "burrows-wheeler"):
+        serial = CompressionHandler(method, executor=modeled_executor())(event)
+        expected = WireFormat.encode(serial)
+
+        fabric = EventFabric(shards=4, executor=modeled_executor())
+        wires = []
+        fabric.subscribe(
+            "feed/0", lambda e, w: wires.append(bytes(w)), method=method, wire=True
+        )
+        fabric.publish("feed/0", event)
+        assert wires == [expected]
+        assert zlib.crc32(wires[0]) == zlib.crc32(expected)
+
+
+def test_passthrough_frame_identical_to_wireformat_encode():
+    event = make_event()
+    fabric = EventFabric(shards=2)
+    wires = []
+    fabric.subscribe("feed/0", lambda e, w: wires.append(bytes(w)), wire=True)
+    fabric.publish("feed/0", event)
+    assert wires == [WireFormat.encode(event)]
+
+
+def test_compress_once_per_group():
+    executor = CountingExecutor()
+    fabric = EventFabric(shards=4, executor=executor)
+    received = [0] * 6
+    for i in range(6):
+        fabric.subscribe(
+            "feed/0",
+            lambda e, w, i=i: received.__setitem__(i, received[i] + 1),
+            method="huffman",
+        )
+    fabric.publish("feed/0", make_event())
+    assert executor.runs == 1  # six subscribers, one codec run
+    assert received == [1] * 6
+    assert fabric.deliveries_total == 6
+    assert fabric.compressions_total == 1
+    assert fabric.fanout_ratio == 6.0
+
+
+def test_distinct_configurations_get_distinct_runs():
+    executor = CountingExecutor()
+    fabric = EventFabric(shards=4, executor=executor)
+    fabric.subscribe("feed/0", lambda e, w: None, method="huffman")
+    fabric.subscribe("feed/0", lambda e, w: None, method="huffman", params={"t": 1})
+    fabric.subscribe("feed/0", lambda e, w: None, method="lempel-ziv")
+    fabric.subscribe("feed/0", lambda e, w: None)  # passthrough
+    fabric.publish("feed/0", make_event())
+    assert executor.runs == 3  # params variant is its own configuration
+    assert fabric.compressions_total == 3
+
+
+def test_cache_shared_across_channels_and_events():
+    executor = CountingExecutor()
+    fabric = EventFabric(shards=4, executor=executor)
+    fabric.subscribe("feed/0", lambda e, w: None, method="huffman")
+    fabric.subscribe("feed/1", lambda e, w: None, method="huffman")
+    event = make_event()
+    fabric.publish("feed/0", event)
+    fabric.publish("feed/1", make_event(channel_id="feed/1"))
+    fabric.publish("feed/0", make_event(sequence=2))
+    # Same payload bytes everywhere: one run total, the cache serves the rest.
+    assert executor.runs == 1
+    assert fabric.cache.hits == 2
+
+
+def test_one_wire_frame_shared_per_group():
+    fabric = EventFabric(shards=2)
+    views = []
+    fabric.subscribe("feed/0", lambda e, w: views.append(w), method="huffman", wire=True)
+    fabric.subscribe("feed/0", lambda e, w: views.append(w), method="huffman", wire=True)
+    fabric.publish("feed/0", make_event())
+    assert len(views) == 2
+    assert views[0].obj is views[1].obj  # one encode, shared memoryview
+
+
+def test_threads_mode_matches_inline_byte_for_byte():
+    event_count = 8
+    results = {}
+    for mode in ("inline", "threads"):
+        fabric = EventFabric(shards=4, executor=modeled_executor(), mode=mode)
+        wires = {"a": [], "b": []}
+        fabric.subscribe(
+            "feed/0", lambda e, w: wires["a"].append(bytes(w)),
+            method="huffman", wire=True,
+        )
+        fabric.subscribe(
+            "feed/1", lambda e, w: wires["b"].append(bytes(w)),
+            method="lempel-ziv", wire=True,
+        )
+        for i in range(event_count):
+            payload = bytes([i]) * 1024
+            fabric.publish("feed/0", make_event(i + 1, "feed/0", payload))
+            fabric.publish("feed/1", make_event(i + 1, "feed/1", payload))
+        assert fabric.flush(timeout=10.0)
+        fabric.close()
+        results[mode] = wires
+    # Per-channel FIFO order and bytes are identical across modes.
+    assert results["inline"] == results["threads"]
+
+
+def test_threads_mode_isolates_subscriber_errors():
+    fabric = EventFabric(shards=2, mode="threads")
+    delivered = []
+
+    def bad(event, wire):
+        raise RuntimeError("sink exploded")
+
+    fabric.subscribe("feed/0", bad)
+    fabric.subscribe("feed/0", lambda e, w: delivered.append(e.sequence))
+    try:
+        for i in range(3):
+            fabric.publish("feed/0", make_event(i + 1))
+        assert fabric.flush(timeout=10.0)
+    finally:
+        fabric.close()
+    # A sink exception poisons neither its peers nor the shard loop:
+    # every event still reaches the healthy subscriber, in order.
+    assert delivered == [1, 2, 3]
+    assert fabric.subscriber_errors == 3
+
+
+def test_cancel_stops_delivery():
+    fabric = EventFabric(shards=2)
+    got = []
+    subscription = fabric.subscribe("feed/0", lambda e, w: got.append(e.sequence))
+    fabric.publish("feed/0", make_event(1))
+    subscription.cancel()
+    subscription.cancel()  # idempotent
+    fabric.publish("feed/0", make_event(2))
+    assert got == [1]
+    assert fabric.subscriber_count("feed/0") == 0
+
+
+def test_defer_runs_on_owning_shard():
+    fabric = EventFabric(shards=4)
+    ran = []
+    fabric.defer("feed/0", lambda: ran.append("x"))
+    assert ran == ["x"]
+
+
+def test_submit_channel_routes_channel_dispatch():
+    from repro.middleware.channels import EventChannel
+
+    fabric = EventFabric(shards=4)
+    channel = EventChannel("feed/0")
+    got = []
+    channel.subscribe(got.append)
+    channel.bind_fabric(fabric)
+    channel.submit(make_event())
+    assert [e.sequence for e in got] == [1]
+    channel.unbind_fabric()
+    channel.submit(make_event())
+    assert [e.sequence for e in got] == [1, 2]
+
+
+def test_closed_fabric_rejects_publishes():
+    fabric = EventFabric(shards=2, mode="threads")
+    fabric.close()
+    fabric.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        fabric.publish("feed/0", make_event())
+
+
+def test_shard_events_follow_stable_assignment():
+    fabric = EventFabric(shards=4)
+    fabric.subscribe("feed/0", lambda e, w: None)
+    fabric.publish("feed/0", make_event())
+    expected = [0, 0, 0, 0]
+    expected[fabric.shard_of("feed/0")] = 1
+    assert fabric.shard_events == expected
+
+
+def test_expansion_guard_falls_back_through_cache():
+    import os
+
+    incompressible = os.urandom(512)
+    fabric = EventFabric(shards=2, executor=modeled_executor())
+    got = []
+    fabric.subscribe("feed/0", lambda e, w: got.append(e), method="huffman")
+    fabric.publish("feed/0", make_event(payload=incompressible))
+    (event,) = got
+    # Random bytes expand under huffman: the guard ships the original
+    # payload and the method attribute stays truthful.
+    assert event.payload == incompressible
+    assert event.attributes["compression.method"] == "none"

@@ -1,0 +1,81 @@
+"""Fan-out load generator: byte-identity, amortization, determinism."""
+
+import pytest
+
+from repro.fabric.loadgen import DEFAULT_SPECS, FanoutConfig, run_fanout
+from repro.obs.metrics import MetricsRegistry
+
+#: Scaled-down scenario for unit-test wall time; the bench gate runs the
+#: full 1024-subscriber defaults.
+SMALL = FanoutConfig(subscribers=512, channels=32, events=8)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fanout(SMALL)
+
+
+def test_fanout_is_byte_identical_to_serial_path(result):
+    assert result.crc_ok
+
+
+def test_cache_amortizes_codec_runs(result):
+    assert result.cache_hit_rate >= 0.90
+    # Compress-once: codec runs bounded by payloads x configurations,
+    # not by deliveries.
+    assert result.fabric_compressions <= SMALL.events * len(SMALL.specs)
+    assert result.baseline_compressions == result.deliveries
+    assert result.fabric_compressions < result.baseline_compressions / 10
+
+
+def test_throughput_beats_baseline(result):
+    assert result.speedup >= 3.0
+    assert result.fabric_seconds < result.baseline_seconds
+
+
+def test_population_accounting(result):
+    assert result.subscribers == SMALL.subscribers
+    assert 0 < result.channels_used <= SMALL.channels
+    assert result.events_published == result.channels_used * SMALL.events
+    assert result.deliveries == SMALL.subscribers * SMALL.events
+    assert result.fanout_ratio == pytest.approx(
+        result.deliveries / result.events_published
+    )
+    assert sum(result.shard_events) == result.events_published
+
+
+def test_run_is_deterministic():
+    a = run_fanout(SMALL)
+    b = run_fanout(SMALL)
+    assert a.wire_crc32 == b.wire_crc32
+    assert a.fabric_seconds == b.fabric_seconds
+    assert a.baseline_seconds == b.baseline_seconds
+    assert a.cache_hits == b.cache_hits
+    assert a.shard_events == b.shard_events
+
+
+def test_seed_changes_the_population():
+    a = run_fanout(SMALL)
+    b = run_fanout(FanoutConfig(subscribers=512, channels=32, events=8, seed=7))
+    assert a.wire_crc32 != b.wire_crc32
+
+
+def test_metrics_registry_receives_fabric_vocabulary():
+    registry = MetricsRegistry()
+    run_fanout(FanoutConfig(subscribers=64, channels=8, events=4), registry=registry)
+    dump = registry.to_json()
+    assert "repro_fabric_cache_hits_total" in dump
+    assert "repro_fabric_cache_misses_total" in dump
+    assert "repro_fabric_deliveries_total" in dump
+
+
+def test_default_specs_are_bounded():
+    # The acceptance scenario: ≤ 8 distinct (method, params) choices.
+    assert len(DEFAULT_SPECS) == 8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FanoutConfig(subscribers=0)
+    with pytest.raises(ValueError):
+        FanoutConfig(specs=())
