@@ -21,20 +21,31 @@ output lists each violated band); 2 means the baseline is missing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import zlib
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.bicriteria import (  # noqa: E402
+    CandidateSpec,
+    codec_for,
+    default_candidates,
+    evaluate_candidates,
+    pareto_frontier,
+    select_point,
+)
 from repro.core.decision import DecisionInputs, DecisionThresholds, select_method  # noqa: E402
 from repro.core.engine import BlockEngine, CodecExecutor  # noqa: E402
+from repro.core.monitor import ReducingSpeedMonitor  # noqa: E402
 from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeline  # noqa: E402
 from repro.data.commercial import CommercialDataGenerator  # noqa: E402
 from repro.experiments.config import ReplayConfig  # noqa: E402
-from repro.experiments.replay import commercial_blocks, run_replay  # noqa: E402
+from repro.experiments.replay import commercial_blocks, make_policy, run_replay  # noqa: E402
 from repro.fabric.loadgen import FanoutConfig, run_fanout  # noqa: E402
 from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
 from repro.middleware.events import Event  # noqa: E402
@@ -74,6 +85,12 @@ CHAOS_SEED = 11
 #: Fan-out gate scenario: the loadgen defaults — 1024 Zipf-skewed
 #: subscribers over 64 channels sharing 8 (method, params) choices.
 FANOUT_CONFIG = FanoutConfig()
+
+#: Bicriteria gate: Figure 5's four link classes, a short paced
+#: commercial replay per class, and a tight space budget on the slow link.
+LINK_CLASSES = ("1gbit", "100mbit", "1mbit", "international")
+BICRITERIA_REPLAY = ReplayConfig(block_count=24, production_interval=2.5)
+BICRITERIA_BUDGET = 0.5
 
 
 def _crc(parts) -> int:
@@ -374,6 +391,175 @@ def fanout_throughput(report: BenchReport) -> None:
     )
 
 
+def _wire_crc(block: bytes, method: str, params) -> int:
+    """CRC-32 of what a direct run of the chosen codec would put on the wire."""
+    wire = block if method == "none" else codec_for(method, tuple(params)).compress(block)
+    return zlib.crc32(wire) & 0xFFFFFFFF
+
+
+def bicriteria_pareto(report: BenchReport) -> None:
+    """Bicriteria gate: the optimizer must never lose to the decision table.
+
+    Two hard gates (an AssertionError aborts the bench run) plus exact
+    deterministic series for drift detection:
+
+    * **Model grid** — over fig01's (link class x LZ speed x sampled
+      ratio) axes, the frontier point chosen at budget 1.0 must have
+      modeled end-to-end time <= the table's choice priced from the
+      *same* estimates, with zero budget violations.
+    * **Paired replays** — per link class, the same commercial blocks run
+      under both policies; the bicriteria policy's accumulated modeled
+      time must be <= its table counterpart evaluated on identical
+      monitor state, and every wire payload must be byte-identical to a
+      direct run of the chosen (codec, params) — the optimizer may only
+      rank with models, never alter bytes.
+    * **Budget run** — the tight-budget replay on the slow link must
+      satisfy ``space_budget=0.5`` with zero violations.
+    """
+    block_size = 128 * 1024
+    thresholds = DecisionThresholds()
+    grid_labels = []
+    frontier_sizes = []
+    model_advantage = 0.0
+    model_violations = 0
+    for link_name in LINK_CLASSES:
+        sending_time = block_size / PAPER_LINKS[link_name].throughput
+        for lz_speed in LZ_SPEEDS:
+            for ratio in SAMPLED_RATIOS:
+                monitor = ReducingSpeedMonitor()
+                monitor.observe_speed("lempel-ziv", lz_speed)
+                points = evaluate_candidates(
+                    default_candidates(block_size),
+                    sending_time,
+                    calibration=DEFAULT_COSTS,
+                    cpu=SUN_FIRE,
+                    monitor=monitor,
+                    sample=ratio,
+                    base_block_size=block_size,
+                )
+                frontier = pareto_frontier(points.values())
+                point, violated = select_point(frontier, space_budget=1.0)
+                table_method = select_method(
+                    DecisionInputs(
+                        block_size=block_size,
+                        sending_time=sending_time,
+                        lz_reducing_speed=lz_speed,
+                        sampled_ratio=ratio,
+                    ),
+                    thresholds,
+                ).method
+                table_point = points[
+                    CandidateSpec(method=table_method, block_size=block_size)
+                ]
+                if point.total_seconds > table_point.total_seconds + 1e-9:
+                    raise AssertionError(
+                        f"bicriteria lost to the table on {link_name} "
+                        f"(lz={lz_speed:g}, ratio={ratio}): "
+                        f"{point.label} {point.total_seconds:g}s > "
+                        f"{table_method} {table_point.total_seconds:g}s"
+                    )
+                model_violations += violated
+                model_advantage += table_point.total_seconds - point.total_seconds
+                grid_labels.append(point.label)
+                frontier_sizes.append(len(frontier))
+    if model_violations:
+        raise AssertionError(
+            f"{model_violations} budget violations at space_budget=1.0"
+        )
+
+    report.record(
+        "bicriteria.model_grid_size", len(grid_labels), unit="decisions",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "bicriteria.model_decisions_crc32", _crc(grid_labels), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "bicriteria.model_frontier_crc32", _crc(frontier_sizes), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "bicriteria.model_advantage_seconds", model_advantage, unit="seconds",
+        better="higher", tolerance=0.10,
+    )
+    report.record(
+        "bicriteria.model_budget_violations", model_violations, unit="decisions",
+        better="near", tolerance=0.0,
+    )
+
+    blocks = commercial_blocks(BICRITERIA_REPLAY)
+    for link_name in LINK_CLASSES:
+        table_result = run_replay(
+            blocks, replace(BICRITERIA_REPLAY, link=link_name)
+        )
+        config = replace(BICRITERIA_REPLAY, link=link_name, policy="bicriteria")
+        policy = make_policy(config)
+        result = run_replay(blocks, config, policy=policy)
+        if policy.modeled_seconds_total > policy.table_modeled_seconds_total + 1e-9:
+            raise AssertionError(
+                f"bicriteria modeled time {policy.modeled_seconds_total:g}s "
+                f"exceeds the table's {policy.table_modeled_seconds_total:g}s "
+                f"on {link_name}"
+            )
+        for block, record in zip(blocks, result.records):
+            if _wire_crc(block, record.method, record.params) != record.payload_crc32:
+                raise AssertionError(
+                    f"wire bytes diverged from a direct {record.method}"
+                    f"{dict(record.params)} run (block {record.index}, {link_name})"
+                )
+        report.record(
+            f"bicriteria.replay.{link_name}.total_time", result.total_time,
+            unit="seconds", better="lower", tolerance=0.10,
+        )
+        report.record(
+            f"bicriteria.replay.{link_name}.table_total_time",
+            table_result.total_time, unit="seconds", better="lower", tolerance=0.10,
+        )
+        report.record(
+            f"bicriteria.replay.{link_name}.modeled_advantage_seconds",
+            policy.table_modeled_seconds_total - policy.modeled_seconds_total,
+            unit="seconds", better="higher", tolerance=0.10,
+        )
+        report.record(
+            f"bicriteria.replay.{link_name}.choices_crc32",
+            _crc(f"{r.method}{r.params}" for r in result.records),
+            unit="crc32", better="near", tolerance=0.0,
+        )
+        report.record(
+            f"bicriteria.replay.{link_name}.wire_crc32",
+            _crc(r.payload_crc32 for r in result.records),
+            unit="crc32", better="near", tolerance=0.0,
+        )
+
+    config = replace(
+        BICRITERIA_REPLAY,
+        link="1mbit",
+        policy="bicriteria",
+        space_budget=BICRITERIA_BUDGET,
+    )
+    policy = make_policy(config)
+    result = run_replay(blocks, config, policy=policy)
+    if policy.budget_violations:
+        raise AssertionError(
+            f"{policy.budget_violations} violations of space budget "
+            f"{BICRITERIA_BUDGET} on the 1mbit replay"
+        )
+    report.record(
+        "bicriteria.budget.violations", policy.budget_violations, unit="decisions",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "bicriteria.budget.choices_crc32",
+        _crc(f"{r.method}{r.params}" for r in result.records),
+        unit="crc32", better="near", tolerance=0.0,
+    )
+    report.record(
+        "bicriteria.budget.overall_ratio", result.overall_ratio, unit="ratio",
+        better="lower", tolerance=0.10,
+    )
+
+
 def build_report() -> BenchReport:
     report = BenchReport(
         metadata={
@@ -407,6 +593,12 @@ def build_report() -> BenchReport:
                 "seed": FANOUT_CONFIG.seed,
                 "link": FANOUT_CONFIG.link,
             },
+            "bicriteria": {
+                "block_count": BICRITERIA_REPLAY.block_count,
+                "production_interval": BICRITERIA_REPLAY.production_interval,
+                "links": list(LINK_CLASSES),
+                "space_budget": BICRITERIA_BUDGET,
+            },
         }
     )
     fig01_decision_sweep(report)
@@ -414,7 +606,56 @@ def build_report() -> BenchReport:
     pool_throughput(report)
     chaos_recovery(report)
     fanout_throughput(report)
+    bicriteria_pareto(report)
     return report
+
+
+def write_summary(path, baseline, candidate, comparison) -> None:
+    """Append the gate outcome as a markdown table (``$GITHUB_STEP_SUMMARY``).
+
+    One row per baseline metric: section, scalar, baseline vs. candidate
+    value, delta, and the gate verdict — ``ok`` (in band), ``drift``
+    (out of band but non-gating, e.g. timing metrics), ``FAIL`` (gated
+    regression or a metric missing from the candidate).  Metrics the
+    candidate added but the baseline lacks show as ``new``.
+    """
+    regressions = {r.name: r for r in comparison.regressions}
+    missing = set(comparison.missing)
+    verdict_line = "**PASS** — no gated regressions" if comparison.ok else "**FAIL**"
+    lines = [
+        "## bench-smoke gate",
+        "",
+        f"{verdict_line} ({comparison.compared} metrics compared "
+        f"against the committed baseline)",
+        "",
+        "| section | scalar | baseline | candidate | delta | verdict |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for name in sorted(baseline.metrics):
+        section, _, scalar = name.partition(".")
+        base_value = baseline.metrics[name].value
+        other = candidate.metrics.get(name)
+        if name in missing or other is None:
+            lines.append(
+                f"| {section} | {scalar} | {base_value:g} | — | — | FAIL (missing) |"
+            )
+            continue
+        regression = regressions.get(name)
+        verdict = (
+            "ok" if regression is None else ("FAIL" if regression.gating else "drift")
+        )
+        lines.append(
+            f"| {section} | {scalar} | {base_value:g} | {other.value:g} "
+            f"| {other.value - base_value:+g} | {verdict} |"
+        )
+    for name in sorted(set(candidate.metrics) - set(baseline.metrics)):
+        section, _, scalar = name.partition(".")
+        lines.append(
+            f"| {section} | {scalar} | — | {candidate.metrics[name].value:g} "
+            f"| — | new |"
+        )
+    with open(path, "a", encoding="utf-8") as sink:
+        sink.write("\n".join(lines) + "\n\n")
 
 
 def main(argv=None) -> int:
@@ -427,6 +668,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="write the candidate as the new baseline instead of gating",
+    )
+    parser.add_argument(
+        "--summary",
+        help="append a markdown verdict table to PATH "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
     )
     args = parser.parse_args(argv)
 
@@ -444,9 +690,14 @@ def main(argv=None) -> int:
         print(f"error: baseline {baseline_path} not found "
               "(run with --write-baseline to create it)", file=sys.stderr)
         return 2
-    comparison = compare_reports(load_report(baseline_path), report)
+    baseline = load_report(baseline_path)
+    comparison = compare_reports(baseline, report)
     for line in comparison.describe():
         print(line)
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        write_summary(summary_path, baseline, comparison=comparison, candidate=report)
+        print(f"summary table -> {summary_path}")
     return 0 if comparison.ok else 1
 
 

@@ -109,7 +109,7 @@ def cmd_methods(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _replay_result(args: argparse.Namespace, observers=None):
+def _replay_result(args: argparse.Namespace, observers=None, registry=None):
     from .experiments.config import ReplayConfig
     from .experiments.replay import commercial_blocks, molecular_blocks, run_replay
 
@@ -127,13 +127,15 @@ def _replay_result(args: argparse.Namespace, observers=None):
         workers=args.workers,
         pool_mode=args.pool_mode,
         fault_plan=plan,
+        policy=args.policy,
+        space_budget=args.space_budget,
     )
     blocks = (
         commercial_blocks(config)
         if args.dataset == "commercial"
         else molecular_blocks(config)
     )
-    return run_replay(blocks, config, observers=observers), plan
+    return run_replay(blocks, config, observers=observers, registry=registry), plan
 
 
 def _write_replay_trace(path: str, args: argparse.Namespace, result) -> None:
@@ -169,7 +171,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if args.trace:
         _write_replay_trace(args.trace, args, result)
         print(f"trace -> {args.trace}")
-    print(f"dataset={args.dataset} link={args.link} blocks={args.blocks}")
+    print(
+        f"dataset={args.dataset} link={args.link} blocks={args.blocks} "
+        f"policy={args.policy}"
+    )
     for key, value in result.summary().items():
         print(f"  {key:26s} {value:12.3f}")
     print(f"  methods: {result.method_counts()}")
@@ -240,7 +245,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     telemetry = BlockTelemetry(registry=registry, channel=args.dataset)
-    result, _ = _replay_result(args, observers=[telemetry])
+    result, _ = _replay_result(args, observers=[telemetry], registry=registry)
     if args.trace:
         _write_replay_trace(args.trace, args, result)
     print(registry.to_json(indent=2))
@@ -439,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["processes", "threads", "serial"],
             default="processes",
             help="worker pool strategy when --workers > 1",
+        )
+        p.add_argument(
+            "--policy",
+            choices=["table", "bicriteria"],
+            default="table",
+            help="method selector: the paper's decision table (default) or "
+            "the bicriteria Pareto optimizer",
+        )
+        p.add_argument(
+            "--space-budget",
+            type=float,
+            default=1.0,
+            help="bicriteria only: modeled compressed/original ratio cap (default 1.0)",
         )
         p.add_argument("--trace", metavar="PATH", help="write a JSON-lines block trace to PATH")
         p.add_argument(

@@ -6,6 +6,16 @@ algorithm, pluggable policies (adaptive vs. fixed baselines), and the
 128 KB block pipeline that ties them together over a simulated link.
 """
 
+from .bicriteria import (
+    CandidateSpec,
+    FrontierPoint,
+    build_frontier,
+    codec_for,
+    default_candidates,
+    evaluate_candidates,
+    pareto_frontier,
+    select_point,
+)
 from .calibration import (
     OperatingPoint,
     ThresholdCalibration,
@@ -53,6 +63,7 @@ __all__ = [
     "BlockExecution",
     "BlockRecord",
     "BlockStats",
+    "CandidateSpec",
     "CodecExecutor",
     "CompressionPolicy",
     "DEFAULT_BLOCK_SIZE",
@@ -63,6 +74,7 @@ __all__ = [
     "DecisionThresholds",
     "FIGURE1_TABLE",
     "FixedPolicy",
+    "FrontierPoint",
     "LzSampler",
     "OperatingPoint",
     "METHOD_CODES",
@@ -75,9 +87,15 @@ __all__ = [
     "StreamResult",
     "ThresholdCalibration",
     "WorkerPool",
+    "build_frontier",
     "calibrate_thresholds",
+    "codec_for",
     "cut_blocks",
+    "default_candidates",
+    "evaluate_candidates",
     "measure",
+    "pareto_frontier",
     "select_method",
+    "select_point",
     "simulate_pipeline",
 ]

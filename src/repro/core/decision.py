@@ -39,9 +39,9 @@ measurements arrive.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "Rating",
@@ -166,6 +166,15 @@ class Decision:
     on stale monitor feedback and chose ``none`` defensively (see
     :class:`~repro.core.policy.AdaptivePolicy`'s ``staleness_horizon``)
     rather than compress on numbers it no longer trusts.
+
+    The last five fields exist for the bicriteria policy
+    (:mod:`repro.core.bicriteria`): ``params`` carries the chosen
+    codec's canonical constructor parameters (empty = registered
+    defaults, which is all the table ever chooses), ``frontier_size``
+    the Pareto-frontier size behind the choice, ``budget_violated``
+    whether no frontier point fit the space budget, and the two modeled
+    times let callers audit the optimizer's claimed advantage over the
+    table on the *same* observed inputs.
     """
 
     method: str
@@ -173,6 +182,11 @@ class Decision:
     sending_time: float
     effective_ratio: float
     degraded: bool = False
+    params: Tuple[Tuple[str, object], ...] = field(default=())
+    frontier_size: int = 0
+    budget_violated: bool = False
+    modeled_seconds: float = math.nan
+    table_modeled_seconds: float = math.nan
 
     @property
     def compresses(self) -> bool:

@@ -36,7 +36,8 @@ bandwidth estimator sees (§2.5: acceptance speed includes receiver CPU).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..netsim.bandwidth import BandwidthEstimator, EwmaBandwidthEstimator
@@ -44,6 +45,8 @@ from ..netsim.clock import Clock, VirtualClock
 from ..netsim.cpu import CodecCostModel, CpuModel
 from ..netsim.link import SimulatedLink
 from ..netsim.loadtrace import LoadTrace
+from ..obs.metrics import MetricsRegistry
+from .bicriteria import codec_for
 from .decision import DecisionThresholds
 from .engine import DEFAULT_BLOCK_SIZE, BlockEngine, CodecExecutor, Observer
 from .monitor import ReducingSpeedMonitor
@@ -87,6 +90,12 @@ class BlockRecord:
     lz_reducing_speed: float
     sampled_ratio: Optional[float]
     connections: float
+    #: Canonical codec parameters behind the block (empty = registered
+    #: defaults — everything the table policy ever chooses).
+    params: Tuple[Tuple[str, object], ...] = field(default=())
+    #: CRC-32 of the wire payload, so benches can assert byte identity
+    #: against a direct run of the chosen codec without storing payloads.
+    payload_crc32: int = 0
 
     @property
     def ratio(self) -> float:
@@ -209,6 +218,7 @@ class AdaptivePipeline:
         observers: Optional[Iterable[Observer]] = None,
         workers: int = 1,
         pool_mode: str = "processes",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if block_size < 1024:
             raise ValueError("block_size must be at least 1 KB")
@@ -229,6 +239,10 @@ class AdaptivePipeline:
             else EwmaBandwidthEstimator()
         )
         self.monitor_alpha = monitor_alpha
+        #: Shared with each run's monitor so selector-side metrics
+        #: (EWMA gauges, degradation counter, repro_bicriteria_*) are
+        #: visible to callers; None keeps them on a private registry.
+        self.registry = registry
         self.verify = verify
         # With workers > 1, registry-resolvable codec work runs on pool
         # workers.  Under modeled costs the measured worker seconds are
@@ -290,7 +304,7 @@ class AdaptivePipeline:
             raise ValueError("cpu_load requires a CpuModel on the pipeline")
         block_list = [b for b in blocks if b]
         clock = clock if clock is not None else VirtualClock()
-        monitor = ReducingSpeedMonitor(alpha=self.monitor_alpha)
+        monitor = ReducingSpeedMonitor(alpha=self.monitor_alpha, registry=self.registry)
         estimator = self.bandwidth_estimator
         if hasattr(estimator, "reset"):
             estimator.reset()
@@ -318,8 +332,12 @@ class AdaptivePipeline:
             lz_speed = monitor.reducing_speed("lempel-ziv")
             decision = self.policy.choose(len(block), sending_time_estimate, monitor, sample)
             method = decision.method
+            params = tuple(getattr(decision, "params", ()) or ())
+            codec = codec_for(method, params) if params and method != "none" else None
 
-            payload, stats = self.engine.execute(block, method=method, index=index)
+            payload, stats = self.engine.execute(
+                block, method=method, index=index, codec=codec
+            )
             compression_time = stats.compression_seconds
             if method != "none" and compression_time > 0:
                 monitor.observe_raw(
@@ -370,6 +388,8 @@ class AdaptivePipeline:
                     lz_reducing_speed=lz_speed,
                     sampled_ratio=sample.ratio if sample is not None else None,
                     connections=connections,
+                    params=params,
+                    payload_crc32=zlib.crc32(payload) & 0xFFFFFFFF,
                 )
             )
             sample = next_sample

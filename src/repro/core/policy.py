@@ -4,23 +4,51 @@ The paper's evaluation implicitly compares the adaptive selector against
 "non-adaptive approaches" — always using one method, or never compressing.
 Expressing all of these behind one interface lets the pipeline,
 middleware, and the headline end-to-end benchmark treat them uniformly.
+
+:class:`AdaptivePolicy` now speaks two dialects of "adaptive":
+
+* ``policy="table"`` (default) — the paper-faithful §2.5 threshold
+  table, unchanged;
+* ``policy="bicriteria"`` — the :mod:`repro.core.bicriteria` optimizer:
+  build a per-block Pareto frontier over (codec, parameters, block
+  size) points from calibration data plus live monitor gauges, then
+  take the point minimizing modeled end-to-end time under a space
+  budget.  The table stays the default until the CI bench gate proves
+  the optimizer wins.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Protocol
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 from ..compression.registry import get_codec
+from ..obs.bicriteria import record_choice
+from .bicriteria import (
+    CandidateSpec,
+    default_candidates,
+    evaluate_candidates,
+    pareto_frontier,
+    select_point,
+)
 from .decision import Decision, DecisionInputs, DecisionThresholds, select_method
 from .monitor import ReducingSpeedMonitor
 from .sampler import SampleResult
 
-__all__ = ["CompressionPolicy", "AdaptivePolicy", "FixedPolicy", "DEGRADED_COUNTER"]
+__all__ = [
+    "CompressionPolicy",
+    "AdaptivePolicy",
+    "FixedPolicy",
+    "DEGRADED_COUNTER",
+    "POLICY_NAMES",
+]
 
 #: Counter incremented (on the monitor's registry) for every degraded
 #: fallback decision.
 DEGRADED_COUNTER = "repro_selector_degraded_total"
+
+#: The two selection dialects AdaptivePolicy speaks.
+POLICY_NAMES = ("table", "bicriteria")
 
 
 class CompressionPolicy(Protocol):
@@ -37,8 +65,17 @@ class CompressionPolicy(Protocol):
         ...
 
 
+def _lz_reduce_time(block_size: int, lz_reducing_speed: float) -> float:
+    """The table's pivot quantity, shared by both dialects for visibility."""
+    if math.isinf(lz_reducing_speed):
+        return 0.0
+    if lz_reducing_speed == 0.0:
+        return math.inf
+    return block_size / lz_reducing_speed
+
+
 class AdaptivePolicy:
-    """The paper's table-driven selector (§2.5).
+    """The adaptive selector: threshold table or bicriteria optimizer.
 
     ``staleness_horizon`` arms the degradation contract: the policy
     watches the monitor's observation counter, and once it has made more
@@ -49,21 +86,63 @@ class AdaptivePolicy:
     :data:`DEGRADED_COUNTER` on the monitor's registry.  The fallback
     clears itself the moment fresh observations resume.  ``None``
     (default) disables the horizon entirely, preserving the paper's
-    always-optimistic behaviour.
+    always-optimistic behaviour.  The horizon guards both dialects: a
+    dead feedback loop poisons modeled frontiers exactly as it poisons
+    thresholds.
+
+    Bicriteria knobs (ignored under ``policy="table"``):
+
+    * ``space_budget`` — modeled compressed/original ratio cap; 1.0
+      (default) only rules out modeled expansion.
+    * ``cost_model`` / ``cpu`` — the calibration substrate
+      (:class:`~repro.netsim.cpu.CodecCostModel` scaled by a
+      :class:`~repro.netsim.cpu.CpuModel`).  Without it the optimizer
+      prices only what the monitor has observed, degenerating to a
+      lone ``none`` point on a cold start.
+    * ``candidates`` — override the search grid (defaults to
+      :func:`~repro.core.bicriteria.default_candidates` at each
+      block's size).
+
+    Every bicriteria decision lands in the monitor's registry under the
+    ``repro_bicriteria_*`` vocabulary, and the running totals
+    ``modeled_seconds_total`` / ``table_modeled_seconds_total`` compare
+    the optimizer against what the table would have chosen on the same
+    observed inputs — the quantity the CI bench gate holds ≤.
     """
 
     def __init__(
         self,
         thresholds: DecisionThresholds = DecisionThresholds(),
         staleness_horizon: Optional[int] = None,
+        policy: str = "table",
+        space_budget: float = 1.0,
+        cost_model: Optional[object] = None,
+        cpu: Optional[object] = None,
+        candidates: Optional[Sequence[CandidateSpec]] = None,
     ) -> None:
         if staleness_horizon is not None and staleness_horizon < 1:
             raise ValueError("staleness_horizon must be positive (or None)")
+        if policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
+        if space_budget <= 0:
+            raise ValueError("space_budget must be positive")
         self.thresholds = thresholds
         self.staleness_horizon = staleness_horizon
+        self.policy = policy
+        self.space_budget = space_budget
+        self.cost_model = cost_model
+        self.cpu = cpu
+        self.candidates = tuple(candidates) if candidates is not None else None
         self.degraded_decisions = 0
+        self.budget_violations = 0
+        self.choices = 0
+        #: Accumulated modeled end-to-end seconds of the chosen points and
+        #: of the table's counterpart choices on the same inputs.
+        self.modeled_seconds_total = 0.0
+        self.table_modeled_seconds_total = 0.0
         self._last_observations: Optional[int] = None
         self._stale_decisions = 0
+        self._grids: Dict[int, Tuple[CandidateSpec, ...]] = {}
 
     def _feedback_is_stale(self, monitor: ReducingSpeedMonitor) -> bool:
         if self.staleness_horizon is None:
@@ -75,6 +154,72 @@ class AdaptivePolicy:
             self._stale_decisions = 0
         self._last_observations = observed
         return self._stale_decisions > self.staleness_horizon
+
+    def _grid(self, block_size: int) -> Tuple[CandidateSpec, ...]:
+        if self.candidates is not None:
+            return self.candidates
+        grid = self._grids.get(block_size)
+        if grid is None:
+            grid = default_candidates(block_size)
+            self._grids[block_size] = grid
+        return grid
+
+    def _choose_bicriteria(
+        self,
+        block_size: int,
+        sending_time: float,
+        monitor: ReducingSpeedMonitor,
+        sample: Optional[SampleResult],
+        inputs: DecisionInputs,
+    ) -> Decision:
+        points = evaluate_candidates(
+            self._grid(block_size),
+            sending_time,
+            calibration=self.cost_model,
+            cpu=self.cpu,
+            monitor=monitor,
+            sample=sample,
+            base_block_size=block_size,
+        )
+        frontier = pareto_frontier(points.values())
+        point, violated = select_point(frontier, self.space_budget)
+
+        # What would the table have done with the same observations?  The
+        # default-param spec for its choice is always in the evaluated
+        # set, so the comparison prices both choices identically.
+        table_method = select_method(inputs, self.thresholds).method
+        table_point = points.get(
+            CandidateSpec(method=table_method, block_size=block_size)
+        )
+        table_seconds = (
+            table_point.total_seconds if table_point is not None else math.nan
+        )
+
+        self.choices += 1
+        if violated:
+            self.budget_violations += 1
+        self.modeled_seconds_total += point.total_seconds
+        if not math.isnan(table_seconds):
+            self.table_modeled_seconds_total += table_seconds
+        record_choice(
+            monitor.registry,
+            frontier_size=len(frontier),
+            method=point.method,
+            params=point.params,
+            modeled_seconds=point.total_seconds,
+            budget_violated=violated,
+        )
+        return Decision(
+            method=point.method,
+            lz_reduce_time=_lz_reduce_time(block_size, inputs.lz_reducing_speed),
+            sending_time=sending_time,
+            effective_ratio=point.ratio,
+            params=point.params,
+            frontier_size=len(frontier),
+            budget_violated=violated,
+            modeled_seconds=point.total_seconds,
+            table_modeled_seconds=table_seconds,
+        )
 
     def choose(
         self,
@@ -96,12 +241,19 @@ class AdaptivePolicy:
                 effective_ratio=1.0,
                 degraded=True,
             )
+        # Duck-typed like the bicriteria evaluator: a SampleResult or a
+        # bare ratio float both work.
+        sampled_ratio = getattr(sample, "ratio", sample) if sample is not None else None
         inputs = DecisionInputs(
             block_size=block_size,
             sending_time=sending_time,
             lz_reducing_speed=monitor.reducing_speed("lempel-ziv"),
-            sampled_ratio=sample.ratio if sample is not None else None,
+            sampled_ratio=sampled_ratio,
         )
+        if self.policy == "bicriteria":
+            return self._choose_bicriteria(
+                block_size, sending_time, monitor, sample, inputs
+            )
         return select_method(inputs, self.thresholds)
 
 

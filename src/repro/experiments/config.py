@@ -31,6 +31,12 @@ class ReplayConfig:
     link: str = "100mbit"
     block_size: int = BLOCK_SIZE
     block_count: int = 128
+    #: Selection dialect: "table" (the paper-faithful §2.5 threshold
+    #: grid, default — baseline CRCs never move) or "bicriteria" (the
+    #: Pareto optimizer of :mod:`repro.core.bicriteria`).
+    policy: str = "table"
+    #: Bicriteria only: modeled compressed/original ratio cap.
+    space_budget: float = 1.0
     #: Seconds between successive blocks becoming available (0 = bulk).
     production_interval: float = 1.25
     #: Per-connection bandwidth erosion (calibrated, see DESIGN.md §3).

@@ -20,19 +20,21 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..core.engine import Observer
 from ..core.pipeline import AdaptivePipeline, StreamResult
-from ..core.policy import CompressionPolicy
+from ..core.policy import AdaptivePolicy, CompressionPolicy
 from ..data.commercial import CommercialDataGenerator
 from ..data.molecular import MolecularDataGenerator
 from ..netsim.cpu import DEFAULT_COSTS, SUN_FIRE, CpuModel
 from ..netsim.faults import FaultPlan, FaultyLink, RetryPolicy
-from ..netsim.link import PAPER_LINKS, SimulatedLink
+from ..netsim.link import make_link
 from ..netsim.loadtrace import LoadTrace, mbone_trace
+from ..obs.metrics import MetricsRegistry
 from .config import FIG8_CONFIG, FIG11_CONFIG, MBONE_SCALE, TRACE_DURATION, ReplayConfig
 
 __all__ = [
     "build_trace",
     "commercial_blocks",
     "molecular_blocks",
+    "make_policy",
     "run_replay",
     "figure7_trace_series",
     "figure8_commercial_replay",
@@ -62,24 +64,51 @@ def molecular_blocks(
     return list(generator.stream(config.block_size, config.block_count))
 
 
+def make_policy(config: ReplayConfig, cpu: Optional[CpuModel] = None) -> CompressionPolicy:
+    """Build the selection policy a replay config names.
+
+    ``"table"`` returns the default :class:`AdaptivePolicy`; ``"bicriteria"``
+    arms the Pareto optimizer with the same modeled-cost substrate the
+    replay pipeline itself uses (``DEFAULT_COSTS`` on ``SUN_FIRE``), so
+    its frontier prices blocks exactly as the replay will account them.
+    """
+    if config.policy == "table":
+        return AdaptivePolicy()
+    if config.policy == "bicriteria":
+        return AdaptivePolicy(
+            policy="bicriteria",
+            space_budget=config.space_budget,
+            cost_model=DEFAULT_COSTS,
+            cpu=cpu if cpu is not None else SUN_FIRE,
+        )
+    raise ValueError(
+        f"unknown policy {config.policy!r}; choose from ('table', 'bicriteria')"
+    )
+
+
 def run_replay(
     blocks: List[bytes],
     config: ReplayConfig,
     policy: Optional[CompressionPolicy] = None,
     cpu: Optional[CpuModel] = None,
     observers: Optional[Iterable[Observer]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> StreamResult:
     """Run one deterministic replay of ``blocks`` under ``config``.
 
     ``observers`` (e.g. a :class:`~repro.obs.block.BlockTelemetry`) are
     attached to the pipeline's block engine; observation is read-only, so
-    the replay stays bit-identical with or without them.
+    the replay stays bit-identical with or without them.  ``registry``
+    is handed to the pipeline's monitor, making selector-side metrics
+    (speed/ratio gauges, ``repro_bicriteria_*``) visible to the caller.
     """
-    link = SimulatedLink(
-        PAPER_LINKS[config.link],
+    link = make_link(
+        config.link,
         seed=config.link_seed,
         congestion_per_connection=config.congestion_per_connection,
     )
+    if policy is None:
+        policy = make_policy(config, cpu=cpu)
     if config.fault_plan is not None:
         plan = (
             config.fault_plan
@@ -95,6 +124,7 @@ def run_replay(
         observers=observers,
         workers=config.workers,
         pool_mode=config.pool_mode,
+        registry=registry,
     )
     try:
         return pipeline.run(

@@ -22,6 +22,13 @@ timing sites (:mod:`repro.core.engine`, ``netsim``) or from virtual
 clocks, so attaching telemetry cannot perturb the deterministic replays.
 """
 
+from .bicriteria import (
+    BUDGET_VIOLATIONS_TOTAL,
+    CHOICES_TOTAL,
+    CHOSEN_SECONDS_GAUGE,
+    FRONTIER_SIZE_GAUGE,
+    record_choice,
+)
 from .benchfmt import (
     SCHEMA as BENCH_SCHEMA,
     BenchMetric,
@@ -52,11 +59,15 @@ from .trace import TraceWriter, read_trace
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BUDGET_VIOLATIONS_TOTAL",
     "BenchMetric",
     "BenchReport",
     "BlockTelemetry",
+    "CHOICES_TOTAL",
+    "CHOSEN_SECONDS_GAUGE",
     "Comparison",
     "Counter",
+    "FRONTIER_SIZE_GAUGE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -70,6 +81,7 @@ __all__ = [
     "record_cache_hit",
     "record_cache_miss",
     "record_cache_size",
+    "record_choice",
     "record_execution",
     "record_fabric_delivery",
     "record_shard_queue_depth",

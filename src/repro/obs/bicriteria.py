@@ -1,0 +1,62 @@
+"""Bicriteria-optimizer metric vocabulary: the ``repro_bicriteria_*`` names.
+
+The bicriteria policy (:mod:`repro.core.bicriteria` selected through
+``AdaptivePolicy(policy="bicriteria")``) self-reports every choice into
+the monitor's :class:`~repro.obs.metrics.MetricsRegistry` under this
+fixed vocabulary, so ``repro stats`` and the bench gate read the same
+numbers the optimizer acted on.
+
+Label discipline (bounded cardinality): chosen points are labeled by
+``method`` plus the *canonical* params label from
+:func:`repro.compression.base.params_label` — the candidate grid is
+small and fixed, so the label space is too.
+"""
+
+from __future__ import annotations
+
+from ..compression.base import params_label
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "FRONTIER_SIZE_GAUGE",
+    "CHOICES_TOTAL",
+    "BUDGET_VIOLATIONS_TOTAL",
+    "CHOSEN_SECONDS_GAUGE",
+    "record_choice",
+]
+
+#: Size of the Pareto frontier behind the most recent decision.
+FRONTIER_SIZE_GAUGE = "repro_bicriteria_frontier_size"
+#: Decisions taken, labeled by the chosen (method, canonical params).
+CHOICES_TOTAL = "repro_bicriteria_choices_total"
+#: Decisions where no frontier point fit the space budget.
+BUDGET_VIOLATIONS_TOTAL = "repro_bicriteria_budget_violations_total"
+#: Modeled end-to-end seconds of the most recent chosen point.
+CHOSEN_SECONDS_GAUGE = "repro_bicriteria_modeled_seconds"
+
+
+def record_choice(
+    registry: MetricsRegistry,
+    frontier_size: int,
+    method: str,
+    params: object,
+    modeled_seconds: float,
+    budget_violated: bool,
+) -> None:
+    """Fold one bicriteria decision into ``registry``."""
+    label = params_label(params)
+    registry.gauge(
+        FRONTIER_SIZE_GAUGE, help="Pareto frontier size behind the latest decision"
+    ).set(float(frontier_size))
+    registry.counter(
+        CHOICES_TOTAL, help="bicriteria decisions by chosen (method, params)"
+    ).inc(method=method, params=label)
+    registry.gauge(
+        CHOSEN_SECONDS_GAUGE,
+        help="modeled end-to-end seconds of the latest chosen point",
+    ).set(modeled_seconds, method=method, params=label)
+    if budget_violated:
+        registry.counter(
+            BUDGET_VIOLATIONS_TOTAL,
+            help="decisions where no frontier point fit the space budget",
+        ).inc()

@@ -156,6 +156,38 @@ class TestSelectMethod:
         decision = decide(sending_time, lz_speed, ratio)
         assert decision.method in {"none", "huffman", "lempel-ziv", "burrows-wheeler"}
 
+    def test_exact_compress_knee_boundary_does_not_compress(self):
+        """Strict ``>`` at the 0.83 knee: equality means "don't compress".
+
+        lz_speed == block size makes lz_reduce_time exactly 1.0, so
+        sending_time == compress_factor hits the boundary with no float
+        rounding in the product.
+        """
+        decision = decide(sending_time=0.83, lz_speed=float(BLOCK), ratio=0.2)
+        assert decision.lz_reduce_time == 1.0
+        assert decision.method == "none"
+        assert decide(
+            sending_time=math.nextafter(0.83, 1.0), lz_speed=float(BLOCK), ratio=0.2
+        ).method == "lempel-ziv"
+
+    def test_exact_bw_knee_boundary_stays_lempel_ziv(self):
+        """Strict ``>`` at the 3.48 knee: equality stays on Lempel-Ziv."""
+        decision = decide(sending_time=3.48, lz_speed=float(BLOCK), ratio=0.2)
+        assert decision.method == "lempel-ziv"
+        assert decide(
+            sending_time=math.nextafter(3.48, 4.0), lz_speed=float(BLOCK), ratio=0.2
+        ).method == "burrows-wheeler"
+
+    def test_exact_ratio_gate_boundary_uses_huffman(self):
+        """Strict ``<`` on the 48.78 % gate: equality is "did not respond"."""
+        gate = DecisionThresholds().ratio_gate
+        assert decide(sending_time=5.0, lz_speed=float(BLOCK), ratio=gate).method == (
+            "huffman"
+        )
+        assert decide(
+            sending_time=5.0, lz_speed=float(BLOCK), ratio=math.nextafter(gate, 0.0)
+        ).method == "burrows-wheeler"
+
     @given(st.floats(min_value=1e3, max_value=1e8))
     @settings(max_examples=100)
     def test_monotone_in_sending_time(self, lz_speed):
