@@ -31,6 +31,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.compression.framing import (  # noqa: E402
+    encode_frame,
+    encode_frame_parts,
+    parse_frame,
+)
+from repro.compression.registry import get_codec  # noqa: E402
 from repro.core.bicriteria import (  # noqa: E402
     CandidateSpec,
     codec_for,
@@ -40,7 +46,7 @@ from repro.core.bicriteria import (  # noqa: E402
     select_point,
 )
 from repro.core.decision import DecisionInputs, DecisionThresholds, select_method  # noqa: E402
-from repro.core.engine import BlockEngine, CodecExecutor  # noqa: E402
+from repro.core.engine import BlockEngine, CodecExecutor, measure_callable  # noqa: E402
 from repro.core.monitor import ReducingSpeedMonitor  # noqa: E402
 from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeline  # noqa: E402
 from repro.data.commercial import CommercialDataGenerator  # noqa: E402
@@ -91,6 +97,20 @@ FANOUT_CONFIG = FanoutConfig()
 LINK_CLASSES = ("1gbit", "100mbit", "1mbit", "international")
 BICRITERIA_REPLAY = ReplayConfig(block_count=24, production_interval=2.5)
 BICRITERIA_BUDGET = 0.5
+
+#: Raw-path gate geometry: payloads large enough that the copying path's
+#: O(n) memcpy work dwarfs the zero-copy path's O(1) bookkeeping (the
+#: measured gap is >40x here, so the 2.0x gate has a wide noise margin).
+RAW_HEADER = b"bench/raw"
+RAW_PAYLOAD_SIZE = 256 * 1024
+RAW_FRAME_LOOPS = 40
+RAW_FRAME_REPEATS = 9
+RAW_CODEC_BLOCK = 16 * 1024
+RAW_CODECS = ("huffman", "lempel-ziv", "burrows-wheeler", "lzw")
+
+#: Metrics the raw-path work is never allowed to regress, one-sided.
+RAW_RATCHETS = (("pool.pooled_mb_per_s", "higher"),
+                ("fig08.compression_seconds_total", "lower"))
 
 
 def _crc(parts) -> int:
@@ -560,6 +580,100 @@ def bicriteria_pareto(report: BenchReport) -> None:
     )
 
 
+def raw_path(report: BenchReport) -> None:
+    """Raw-speed floor gate: framing must stay zero-copy, codecs byte-stable.
+
+    Two hard gates plus exact wire checksums:
+
+    * **Framing throughput** — one round of gather-list encode
+      (:func:`encode_frame_parts`) plus lazy-view parse must run >=2x
+      faster than the pre-PR copying path, reproduced inline as
+      owned-``bytes`` encode plus ``copy=True`` parse.  CRC is off on
+      *both* sides so the measurement isolates the copy elimination (the
+      CRC scan costs both paths the same and would only dilute the
+      ratio).  Both sides go through ``measure_callable`` — the one
+      sanctioned timing site — and take the best of several repeats, so
+      scheduler noise can only slow a side down, never speed it up.
+    * **Pure-Python wire CRCs** — each paper codec compresses a fixed
+      commercial block; the CRC32 is exact-gated against the baseline
+      AND must be identical for ``bytes`` and ``memoryview`` input, so
+      the zero-copy plumbing can never leak into the wire format.
+    """
+    payload = bytes(range(256)) * (RAW_PAYLOAD_SIZE // 256)
+    wire = bytes(encode_frame(RAW_HEADER, payload, check=False))
+
+    def zero_copy_round(data: bytes) -> bytes:
+        for _ in range(RAW_FRAME_LOOPS):
+            encode_frame_parts(RAW_HEADER, data, check=False)
+            parse_frame(wire, copy=False)
+        return data
+
+    def copying_round(data: bytes) -> bytes:
+        for _ in range(RAW_FRAME_LOOPS):
+            bytes(encode_frame(RAW_HEADER, data, check=False))
+            parse_frame(wire, copy=True)
+        return data
+
+    def best_seconds(label, fn) -> float:
+        return min(
+            measure_callable(label, fn, payload).elapsed_seconds
+            for _ in range(RAW_FRAME_REPEATS)
+        )
+
+    fast = max(best_seconds("raw.zero_copy", zero_copy_round), 1e-9)
+    slow = best_seconds("raw.copying", copying_round)
+    ratio = slow / fast
+    if ratio < 2.0:
+        raise AssertionError(
+            f"zero-copy framing only {ratio:.2f}x the copying path (< 2.0x gate)"
+        )
+    megabytes = RAW_FRAME_LOOPS * len(wire) / (1 << 20)
+    report.record(
+        "raw_path.framing_speedup", ratio, unit="x",
+        better="higher", tolerance=0.5, kind="timing",
+    )
+    report.record(
+        "raw_path.framing_mb_per_s", megabytes / fast, unit="MB/s",
+        better="higher", tolerance=0.5, kind="timing",
+    )
+
+    block = next(iter(CommercialDataGenerator(seed=2004).stream(RAW_CODEC_BLOCK, 1)))
+    for name in RAW_CODECS:
+        codec = get_codec(name)
+        crc = zlib.crc32(codec.compress(block)) & 0xFFFFFFFF
+        view_crc = zlib.crc32(codec.compress(memoryview(block))) & 0xFFFFFFFF
+        if crc != view_crc:
+            raise AssertionError(
+                f"{name} wire bytes depend on the input container "
+                f"(bytes {crc:#010x} != memoryview {view_crc:#010x})"
+            )
+        report.record(
+            f"raw_path.wire_crc32.{name}", crc, unit="crc32",
+            better="near", tolerance=0.0,
+        )
+
+
+def check_ratchets(baseline: BenchReport, candidate: BenchReport) -> list:
+    """One-sided raw-path ratchet: these may equal the baseline, never lose."""
+    failures = []
+    for name, direction in RAW_RATCHETS:
+        base = baseline.metrics.get(name)
+        cand = candidate.metrics.get(name)
+        if base is None or cand is None:
+            continue
+        worse = (
+            cand.value < base.value - 1e-9
+            if direction == "higher"
+            else cand.value > base.value + 1e-9
+        )
+        if worse:
+            failures.append(
+                f"ratchet: {name} {cand.value:g} is worse than baseline "
+                f"{base.value:g} (must be no {'lower' if direction == 'higher' else 'higher'})"
+            )
+    return failures
+
+
 def build_report() -> BenchReport:
     report = BenchReport(
         metadata={
@@ -599,6 +713,12 @@ def build_report() -> BenchReport:
                 "links": list(LINK_CLASSES),
                 "space_budget": BICRITERIA_BUDGET,
             },
+            "raw_path": {
+                "payload_size": RAW_PAYLOAD_SIZE,
+                "frame_loops": RAW_FRAME_LOOPS,
+                "codec_block": RAW_CODEC_BLOCK,
+                "codecs": list(RAW_CODECS),
+            },
         }
     )
     fig01_decision_sweep(report)
@@ -607,6 +727,7 @@ def build_report() -> BenchReport:
     chaos_recovery(report)
     fanout_throughput(report)
     bicriteria_pareto(report)
+    raw_path(report)
     return report
 
 
@@ -694,11 +815,14 @@ def main(argv=None) -> int:
     comparison = compare_reports(baseline, report)
     for line in comparison.describe():
         print(line)
+    ratchet_failures = check_ratchets(baseline, report)
+    for line in ratchet_failures:
+        print(line)
     summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         write_summary(summary_path, baseline, comparison=comparison, candidate=report)
         print(f"summary table -> {summary_path}")
-    return 0 if comparison.ok else 1
+    return 0 if comparison.ok and not ratchet_failures else 1
 
 
 if __name__ == "__main__":

@@ -81,6 +81,32 @@ if [ -n "$stray" ]; then
 fi
 echo "ok"
 
+# --- Invariant: zero-copy hot paths -------------------------------------------
+# The framing codec, the block cache, and the frame batcher are the wire
+# hot paths: a bytes() materialization there silently reintroduces the
+# per-frame copies the zero-copy work removed.  Every deliberate copy
+# must carry a "copy-ok" annotation (same line or the comment block
+# directly above, within 3 lines) explaining why the copy is owed.
+# to_bytes()/from_bytes()/*_bytes() int-conversion calls are not copies
+# and are excluded by the leading-character class.
+echo "== invariant: no unannotated bytes() copies in zero-copy hot paths"
+stray=$(awk '
+    {
+        if ($0 ~ /(^|[^_A-Za-z.])bytes\(/ && $0 !~ /copy-ok/) {
+            if (license > 0) license = 0  # one annotation covers one copy
+            else print FILENAME ":" FNR ": " $0
+        }
+        if ($0 ~ /copy-ok/) license = 3
+        else if (license > 0) license--
+    }
+' src/repro/compression/framing.py src/repro/fabric/cache.py src/repro/fabric/batching.py)
+if [ -n "$stray" ]; then
+    echo "FAIL: unannotated bytes() copy on a zero-copy hot path (annotate with # copy-ok: <reason> if the copy is owed):" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+echo "ok"
+
 # --- Invariant: no print() in the library -------------------------------------
 # Diagnostics go through repro.obs (metrics/traces) or logging; stdout
 # belongs to the CLI alone.  Only cli.py and __main__.py may print.

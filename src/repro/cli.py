@@ -267,6 +267,8 @@ def cmd_fanout(args: argparse.Namespace) -> int:
         zipf_exponent=args.zipf,
         seed=args.seed,
         link=args.link,
+        batch=args.batch,
+        batch_frames=args.batch_frames,
     )
     result = run_fanout(config)
     if args.json:
@@ -279,6 +281,8 @@ def cmd_fanout(args: argparse.Namespace) -> int:
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
             shard_events=result.shard_events,
+            batches_emitted=result.batches_emitted,
+            batched_frames=result.batched_frames,
         )
         print(json.dumps(payload, indent=2))
         return 0 if result.crc_ok else 1
@@ -303,6 +307,11 @@ def cmd_fanout(args: argparse.Namespace) -> int:
         f"{result.cache_evictions} evictions)"
     )
     print(f"shard events: {result.shard_events}")
+    if result.batches_emitted:
+        print(
+            f"batching: {result.batched_frames} frames in {result.batches_emitted} "
+            f"jumbo flushes ({result.batched_frames / result.batches_emitted:.1f} frames/batch)"
+        )
     print(f"wire CRC32 {result.wire_crc32:#010x}  byte-identical to serial path: {result.crc_ok}")
     return 0 if result.crc_ok else 1
 
@@ -507,6 +516,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--zipf", type=float, default=1.1, help="Zipf skew exponent")
     p.add_argument("--seed", type=int, default=2004, help="scenario seed")
     p.add_argument("--link", default="1gbit", help="netsim link profile")
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="coalesce per-subscriber frames into jumbo super-frames",
+    )
+    p.add_argument(
+        "--batch-frames",
+        type=int,
+        default=8,
+        help="frames per jumbo flush when --batch is on",
+    )
     p.add_argument("--json", action="store_true", help="emit the result as JSON")
     p.set_defaults(func=cmd_fanout)
 

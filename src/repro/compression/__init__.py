@@ -11,12 +11,18 @@ from .base import Codec, CodecError, CompressionResult, CorruptStreamError
 from .bitio import BitReader, BitWriter
 from .framing import (
     DEFAULT_MAX_FRAME_SIZE,
+    JUMBO_HEADER,
     Frame,
     FrameDecoder,
     decode_frame,
     encode_block_frame,
     encode_frame,
+    encode_frame_into,
+    encode_frame_parts,
+    encode_jumbo_frame,
+    is_jumbo_frame,
     parse_frame,
+    unpack_jumbo_frame,
 )
 from .bwhuff import BurrowsWheelerCodec
 from .bwt import bwt_inverse, bwt_transform, suffix_array
@@ -26,7 +32,14 @@ from .lossy import QuantizedFloatCodec, TruncatedFloatCodec
 from .lz77 import Lz77Codec, tokenize
 from .lzw import LzwCodec
 from .mtf import mtf_decode, mtf_encode
-from .native import NativeBwCodec, NativeLzCodec
+from .native import (
+    HAVE_LZ4,
+    HAVE_ZSTD,
+    NativeBwCodec,
+    NativeLz4Codec,
+    NativeLzCodec,
+    NativeZstdCodec,
+)
 from .parallel import ParallelCodec, parallel_huffman_decode
 from .registry import (
     PAPER_METHODS,
@@ -52,13 +65,18 @@ __all__ = [
     "DEFAULT_MAX_FRAME_SIZE",
     "Frame",
     "FrameDecoder",
+    "HAVE_LZ4",
+    "HAVE_ZSTD",
     "HuffmanCode",
     "HuffmanCodec",
     "IdentityCodec",
+    "JUMBO_HEADER",
     "Lz77Codec",
     "LzwCodec",
     "NativeBwCodec",
+    "NativeLz4Codec",
     "NativeLzCodec",
+    "NativeZstdCodec",
     "ParallelCodec",
     "PAPER_METHODS",
     "QuantizedFloatCodec",
@@ -72,7 +90,11 @@ __all__ = [
     "decode_frame",
     "encode_block_frame",
     "encode_frame",
+    "encode_frame_into",
+    "encode_frame_parts",
+    "encode_jumbo_frame",
     "get_codec",
+    "is_jumbo_frame",
     "huffman_code_lengths",
     "mtf_decode",
     "parallel_huffman_decode",
@@ -83,5 +105,6 @@ __all__ = [
     "rle_encode",
     "suffix_array",
     "tokenize",
+    "unpack_jumbo_frame",
     "unregister_codec",
 ]

@@ -38,6 +38,22 @@ Only the *interpretation* of the header belongs to the producing layer:
 Because the layout is shared, a frame produced by any layer is
 recoverable by any other layer's parser.
 
+Zero-copy discipline (the raw-speed floor):
+
+* :func:`encode_frame` builds one ``bytearray`` and returns it without a
+  final ``bytes`` copy; :func:`encode_frame_into` appends into a
+  caller-owned buffer (batch assembly), and :func:`encode_frame_parts`
+  returns the frame as a gather list whose header/payload elements are
+  the caller's own objects — for ``sendmsg``-style vectored writes with
+  no concatenation at all.
+* :func:`parse_frame` / :func:`decode_frame` / :class:`FrameDecoder`
+  return **lazy read-only memoryview slices** into the input buffer by
+  default; pass ``copy=True`` to own the bytes (required when the
+  caller retains frames past the lifetime of a reused input buffer).
+  View-backed frames keep the whole input chunk alive — long-retained
+  frames should be materialized via :attr:`Frame.header_bytes` /
+  :attr:`Frame.payload_bytes`.
+
 Hostile input is bounded: a frame whose declared header or payload
 length exceeds the decoder's limits raises
 :class:`~repro.compression.base.CorruptStreamError` immediately instead
@@ -53,20 +69,26 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 from .base import CorruptStreamError
-from .varint import varint_size, write_varint
+from .varint import read_canonical_varint, varint_size, write_varint
 
 __all__ = [
     "DEFAULT_MAX_FRAME_SIZE",
     "DEFAULT_MAX_HEADER_SIZE",
     "FLAG_CRC32",
     "FRAME_V2_MAGIC",
+    "JUMBO_HEADER",
     "MAX_METHOD_NAME",
     "Frame",
     "FrameDecoder",
     "decode_frame",
     "encode_block_frame",
     "encode_frame",
+    "encode_frame_into",
+    "encode_frame_parts",
+    "encode_jumbo_frame",
+    "is_jumbo_frame",
     "parse_frame",
+    "unpack_jumbo_frame",
 ]
 
 #: Upper bound on a declared payload length (satellite: a corrupt or
@@ -90,6 +112,11 @@ FLAG_CRC32 = 0x01
 _KNOWN_FLAGS = FLAG_CRC32
 _CRC_SIZE = 4
 
+#: Header of a jumbo (batch) super-frame.  Cannot collide with the other
+#: header dialects: JSON event headers open with ``{``, codec method
+#: names never contain ``/``, and control frames use an empty header.
+JUMBO_HEADER = b"jumbo/1"
+
 _Buffer = Union[bytes, bytearray, memoryview]
 
 
@@ -97,13 +124,33 @@ _Buffer = Union[bytes, bytearray, memoryview]
 class Frame:
     """One parsed frame: opaque header bytes plus the payload.
 
-    ``checked`` records whether the frame carried (and passed) a CRC32 —
-    wire-format bookkeeping, deliberately excluded from equality.
+    ``header`` and ``payload`` are ``bytes`` when parsed with
+    ``copy=True`` and read-only :class:`memoryview` slices of the input
+    buffer otherwise (equality compares contents either way).  A view
+    keeps its backing buffer alive; callers that retain a frame past the
+    input's lifetime should take :attr:`header_bytes` /
+    :attr:`payload_bytes`.  ``checked`` records whether the frame
+    carried (and passed) a CRC32 — wire-format bookkeeping, deliberately
+    excluded from equality.
     """
 
-    header: bytes
-    payload: bytes
+    header: Union[bytes, memoryview]
+    payload: Union[bytes, memoryview]
     checked: bool = field(default=False, compare=False)
+
+    @property
+    def header_bytes(self) -> bytes:
+        """The header as owned ``bytes`` (materializes a view)."""
+        if isinstance(self.header, bytes):
+            return self.header
+        return bytes(self.header)  # copy-ok: explicit materialization point
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """The payload as owned ``bytes`` (materializes a view)."""
+        if isinstance(self.payload, bytes):
+            return self.payload
+        return bytes(self.payload)  # copy-ok: explicit materialization point
 
     @property
     def method(self) -> str:
@@ -111,7 +158,7 @@ class Frame:
         if not self.header or len(self.header) > MAX_METHOD_NAME:
             raise CorruptStreamError("implausible method-name length in frame")
         try:
-            return self.header.decode("ascii")
+            return str(self.header, "ascii")
         except UnicodeDecodeError as exc:
             raise CorruptStreamError("non-ASCII method name in frame") from exc
 
@@ -129,9 +176,17 @@ class Frame:
         return body
 
 
-def encode_frame(header: bytes, payload: bytes, check: bool = True) -> bytes:
-    """Encode one frame; ``check=True`` (default) adds the v2 CRC32 envelope."""
-    out = bytearray()
+def encode_frame_into(
+    out: bytearray, header: _Buffer, payload: _Buffer, check: bool = True
+) -> int:
+    """Append one encoded frame to ``out``; returns the bytes written.
+
+    The zero-copy assembly primitive: batchers and scratch-buffer reuse
+    paths append many frames into one preallocated ``bytearray`` and
+    take views afterwards (never while still appending — a resize with
+    live exports raises ``BufferError``).
+    """
+    start = len(out)
     if check:
         out += FRAME_V2_MAGIC
         write_varint(out, FLAG_CRC32)
@@ -140,13 +195,47 @@ def encode_frame(header: bytes, payload: bytes, check: bool = True) -> bytes:
     write_varint(out, len(payload))
     out += payload
     if check:
-        crc = zlib.crc32(header)
-        crc = zlib.crc32(payload, crc)
+        crc = zlib.crc32(payload, zlib.crc32(header))
         out += crc.to_bytes(_CRC_SIZE, "little")
-    return bytes(out)
+    return len(out) - start
 
 
-def encode_block_frame(method: str, payload: bytes, check: bool = True) -> bytes:
+def encode_frame(header: _Buffer, payload: _Buffer, check: bool = True) -> bytearray:
+    """Encode one frame; ``check=True`` (default) adds the v2 CRC32 envelope.
+
+    Returns the assembled ``bytearray`` itself — no trailing ``bytes``
+    copy.  The caller owns the buffer exclusively.
+    """
+    out = bytearray()
+    encode_frame_into(out, header, payload, check=check)
+    return out
+
+
+def encode_frame_parts(
+    header: _Buffer, payload: _Buffer, check: bool = True
+) -> List[_Buffer]:
+    """Encode one frame as a gather list for vectored (``sendmsg``) writes.
+
+    The returned list interleaves small owned prefix buffers with the
+    caller's ``header``/``payload`` objects **unchanged** — a large
+    payload is never copied into a contiguous frame.  Joining the parts
+    yields exactly :func:`encode_frame`'s output.
+    """
+    prefix = bytearray()
+    if check:
+        prefix += FRAME_V2_MAGIC
+        write_varint(prefix, FLAG_CRC32)
+    write_varint(prefix, len(header))
+    middle = bytearray()
+    write_varint(middle, len(payload))
+    parts: List[_Buffer] = [prefix, header, middle, payload]
+    if check:
+        crc = zlib.crc32(payload, zlib.crc32(header))
+        parts.append(crc.to_bytes(_CRC_SIZE, "little"))
+    return parts
+
+
+def encode_block_frame(method: str, payload: _Buffer, check: bool = True) -> bytearray:
     """Encode a block-stream frame whose header is the codec method name."""
     name = method.encode("ascii")
     if not name or len(name) > MAX_METHOD_NAME:
@@ -178,13 +267,17 @@ def parse_frame(
     offset: int = 0,
     max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
     max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+    copy: bool = False,
 ) -> Optional[Tuple[Frame, int]]:
     """THE frame parser (the only one in the tree); accepts v1 and v2.
 
     Returns ``(frame, next_offset)``, or ``None`` when ``data`` holds
-    only a prefix of a frame.  Raises
-    :class:`~repro.compression.base.CorruptStreamError` when the input
-    cannot be a valid frame — malformed or non-canonical varints,
+    only a prefix of a frame.  The frame's header/payload are lazy
+    read-only :class:`memoryview` slices of ``data`` (zero-copy); pass
+    ``copy=True`` when the caller must own the bytes — e.g. when
+    ``data`` is a reused receive buffer that will be overwritten.
+    Raises :class:`~repro.compression.base.CorruptStreamError` when the
+    input cannot be a valid frame — malformed or non-canonical varints,
     declared lengths beyond ``max_header_size`` / ``max_frame_size``,
     unknown v2 flags, or a CRC32 mismatch.
     """
@@ -226,13 +319,15 @@ def parse_frame(
     if len(data) - position < payload_length:
         return None
     payload_end = position + payload_length
-    header = bytes(data[header_end - header_length : header_end])
-    payload = bytes(data[position:payload_end])
+    # One view over the input; header/payload are lazy slices of it.
+    view = memoryview(data).toreadonly()
+    header: _Buffer = view[header_end - header_length : header_end]
+    payload: _Buffer = view[position:payload_end]
     checked = bool(flags & FLAG_CRC32)
     if checked:
         if len(data) - payload_end < _CRC_SIZE:
             return None
-        declared = int.from_bytes(data[payload_end : payload_end + _CRC_SIZE], "little")
+        declared = int.from_bytes(view[payload_end : payload_end + _CRC_SIZE], "little")
         computed = zlib.crc32(payload, zlib.crc32(header))
         if declared != computed:
             raise CorruptStreamError(
@@ -240,6 +335,9 @@ def parse_frame(
                 f"computed {computed:#010x})"
             )
         payload_end += _CRC_SIZE
+    if copy:
+        header = bytes(header)  # copy-ok: the copy= escape hatch
+        payload = bytes(payload)  # copy-ok: the copy= escape hatch
     return Frame(header=header, payload=payload, checked=checked), payload_end
 
 
@@ -248,10 +346,15 @@ def decode_frame(
     offset: int = 0,
     max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
     max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+    copy: bool = False,
 ) -> Tuple[Frame, int]:
     """Parse one complete frame; truncation raises ``CorruptStreamError``."""
     parsed = parse_frame(
-        data, offset, max_frame_size=max_frame_size, max_header_size=max_header_size
+        data,
+        offset,
+        max_frame_size=max_frame_size,
+        max_header_size=max_header_size,
+        copy=copy,
     )
     if parsed is None:
         raise CorruptStreamError("truncated frame")
@@ -260,6 +363,15 @@ def decode_frame(
 
 class FrameDecoder:
     """Incremental decoder: feed arbitrary byte chunks, get complete frames.
+
+    Zero-copy: frames completed by a feed are view-backed slices of an
+    immutable ``bytes`` buffer (the fed chunk, prefixed by any held-over
+    tail), so a chunk containing whole frames is parsed without copying
+    a single payload byte.  Only the *unconsumed* tail is carried into
+    the next feed — the decoder never compacts a buffer other frames
+    still view (which would raise ``BufferError`` on a ``bytearray``).
+    Construct with ``copy=True`` when frames are retained long past each
+    feed and pinning whole receive chunks is unacceptable.
 
     Buffering is bounded by the limits: a frame whose declared lengths
     exceed them raises immediately, so a corrupt or hostile stream can
@@ -273,27 +385,34 @@ class FrameDecoder:
         self,
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+        copy: bool = False,
     ) -> None:
         if max_frame_size < 0 or max_header_size < 0:
             raise ValueError("frame limits must be non-negative")
         self.max_frame_size = max_frame_size
         self.max_header_size = max_header_size
-        self._buffer = bytearray()
+        self.copy = copy
+        self._tail = b""
         self.frames_decoded = 0
         self.frames_rejected = 0
 
-    def feed(self, data: bytes) -> List[Frame]:
+    def feed(self, data: _Buffer) -> List[Frame]:
         """Accept bytes; returns every frame completed by them."""
-        self._buffer += data
+        if not isinstance(data, bytes):
+            # copy-ok: snapshot mutable input once so parsed views stay
+            # immutable; the hot path (socket recv) already feeds bytes.
+            data = bytes(data)
+        buffer = self._tail + data if self._tail else data
         frames: List[Frame] = []
         offset = 0
         try:
             while True:
                 parsed = parse_frame(
-                    self._buffer,
+                    buffer,
                     offset,
                     max_frame_size=self.max_frame_size,
                     max_header_size=self.max_header_size,
+                    copy=self.copy,
                 )
                 if parsed is None:
                     break
@@ -304,18 +423,120 @@ class FrameDecoder:
             self.frames_rejected += 1
             raise
         finally:
-            if offset:
-                del self._buffer[:offset]
+            # bytes slicing: a full-buffer slice is the same object, so
+            # the no-progress case costs nothing.
+            self._tail = buffer[offset:]
         return frames
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered awaiting a complete frame."""
-        return len(self._buffer)
+        return len(self._tail)
 
     def close(self) -> None:
         """Assert the stream ended cleanly at a frame boundary."""
-        if self._buffer:
+        if self._tail:
             raise CorruptStreamError(
-                f"{len(self._buffer)} trailing bytes mid-frame at stream end"
+                f"{len(self._tail)} trailing bytes mid-frame at stream end"
             )
+
+
+# -- jumbo (batch) super-frames ---------------------------------------------------
+#
+# A jumbo frame coalesces many small event frames into one v2 frame so
+# per-frame syscall and delivery costs amortize across a batch.  It is an
+# ordinary checked frame (any framing-aware peer parses the envelope)
+# whose header is :data:`JUMBO_HEADER` and whose payload is an inner
+# offset table followed by the member frames verbatim::
+#
+#     varint count | count x varint frame_length | frames...
+#
+# The up-front length table lets a receiver slice every member without
+# scanning, and :func:`unpack_jumbo_frame` re-parses each member through
+# the one frame parser — members keep their own CRCs, so corruption is
+# attributed to a single inner frame, not the whole batch.
+
+
+def encode_jumbo_frame(frames: List[_Buffer]) -> bytearray:
+    """Coalesce encoded frames into one jumbo super-frame (single buffer).
+
+    Each element of ``frames`` must be one complete encoded frame (the
+    output of :func:`encode_frame` or a view of it).  Assembly writes the
+    envelope, the offset table, and the members into one ``bytearray`` —
+    each member is copied exactly once (the price of coalescing) and the
+    envelope is never reassembled.
+    """
+    if not frames:
+        raise ValueError("a jumbo frame needs at least one member frame")
+    table = bytearray()
+    write_varint(table, len(frames))
+    for frame in frames:
+        write_varint(table, len(frame))
+    payload_length = len(table) + sum(len(frame) for frame in frames)
+    out = bytearray()
+    out += FRAME_V2_MAGIC
+    write_varint(out, FLAG_CRC32)
+    write_varint(out, len(JUMBO_HEADER))
+    out += JUMBO_HEADER
+    write_varint(out, payload_length)
+    payload_start = len(out)
+    out += table
+    for frame in frames:
+        out += frame
+    # The temporary view is released as soon as crc32 returns, so the
+    # trailing append below may still resize the buffer.
+    crc = zlib.crc32(memoryview(out)[payload_start:], zlib.crc32(JUMBO_HEADER))
+    out += crc.to_bytes(_CRC_SIZE, "little")
+    return out
+
+
+def is_jumbo_frame(frame: Frame) -> bool:
+    """Whether ``frame`` is a jumbo super-frame (by header dialect)."""
+    return len(frame.header) == len(JUMBO_HEADER) and frame.header == JUMBO_HEADER
+
+
+def unpack_jumbo_frame(
+    frame: Frame,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+    max_header_size: int = DEFAULT_MAX_HEADER_SIZE,
+) -> Optional[List[Frame]]:
+    """Recover the member frames of a jumbo super-frame, zero-copy.
+
+    Returns ``None`` when ``frame`` is not a jumbo frame (callers treat
+    it as an ordinary event frame).  Members are parsed as lazy views
+    into the jumbo payload; a member whose parsed extent disagrees with
+    the offset table, or trailing garbage after the last member, raises
+    :class:`~repro.compression.base.CorruptStreamError`.
+    """
+    if not is_jumbo_frame(frame):
+        return None
+    payload = frame.payload
+    count, position = read_canonical_varint(payload, 0)
+    if count < 1 or count > len(payload):
+        raise CorruptStreamError(f"implausible jumbo member count {count}")
+    lengths: List[int] = []
+    for _ in range(count):
+        length, position = read_canonical_varint(payload, position)
+        lengths.append(length)
+    members: List[Frame] = []
+    for length in lengths:
+        if length > len(payload) - position:
+            raise CorruptStreamError("jumbo offset table overruns the payload")
+        member, end = decode_frame(
+            payload,
+            position,
+            max_frame_size=max_frame_size,
+            max_header_size=max_header_size,
+        )
+        if end - position != length:
+            raise CorruptStreamError(
+                f"jumbo member extent {end - position} disagrees with "
+                f"offset table entry {length}"
+            )
+        members.append(member)
+        position = end
+    if position != len(payload):
+        raise CorruptStreamError(
+            f"{len(payload) - position} trailing bytes after the last jumbo member"
+        )
+    return members

@@ -116,6 +116,11 @@ def tokenize(
     match among them (preferring recent = short distances on ties, which is
     exactly what makes Huffman-coded pointers effective).
     """
+    if not isinstance(data, bytes):
+        # Snapshot buffer-protocol inputs once: the 4-byte prefixes below
+        # become dict keys, and bytes slices are both hashable and the
+        # fastest thing to hash.
+        data = bytes(data)
     n = len(data)
     tokens: List[Token] = []
     append = tokens.append

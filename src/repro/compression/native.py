@@ -15,6 +15,19 @@ bz2 provide the paper's actual operating points:
 
 They are registered under distinct names and never silently substituted
 for the from-scratch implementations.
+
+Two further codecs cover the modern fast-compressor operating points the
+pure-Python tier cannot reach (the PAPERS.md file-format comparison
+places zstd/lz4-class codecs at reducing speeds 10-100x beyond zlib's):
+
+* ``NativeZstdCodec`` — Zstandard, via the stdlib :mod:`compression.zstd`
+  (Python 3.14+) or the ``zstandard`` binding, whichever imports.
+* ``NativeLz4Codec``  — LZ4 frame format via the ``lz4`` binding.
+
+Both are **optional**: when no binding is importable the class stays
+defined but raises on construction, :data:`HAVE_ZSTD`/:data:`HAVE_LZ4`
+are False, and the registry simply skips them — so environments without
+the bindings lose the operating points, never the import.
 """
 
 from __future__ import annotations
@@ -24,7 +37,41 @@ import zlib
 
 from .base import Codec, CorruptStreamError
 
-__all__ = ["NativeLzCodec", "NativeBwCodec"]
+__all__ = [
+    "HAVE_LZ4",
+    "HAVE_ZSTD",
+    "NativeBwCodec",
+    "NativeLz4Codec",
+    "NativeLzCodec",
+    "NativeZstdCodec",
+]
+
+# Resolution order for zstd: the stdlib module (3.14+) first, then the
+# third-party binding.  Both expose compress/decompress at module level
+# with compatible signatures for our use.
+try:
+    from compression import zstd as _zstd_impl  # type: ignore[import-not-found]
+
+    _ZSTD_KIND = "stdlib"
+except ImportError:  # pragma: no cover - depends on environment
+    try:
+        import zstandard as _zstd_impl  # type: ignore[no-redef]
+
+        _ZSTD_KIND = "zstandard"
+    except ImportError:
+        _zstd_impl = None
+        _ZSTD_KIND = ""
+
+try:
+    import lz4.frame as _lz4_frame  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - depends on environment
+    _lz4_frame = None
+
+#: Whether a zstd binding is importable here (stdlib or ``zstandard``).
+HAVE_ZSTD = _zstd_impl is not None
+
+#: Whether the ``lz4`` binding is importable here.
+HAVE_LZ4 = _lz4_frame is not None
 
 
 class NativeLzCodec(Codec):
@@ -66,4 +113,86 @@ class NativeBwCodec(Codec):
         try:
             return bz2.decompress(payload)
         except (OSError, ValueError) as exc:
+            raise CorruptStreamError(str(exc)) from exc
+
+
+def _zstd_error_types() -> tuple:
+    errors: list = [ValueError]
+    error = getattr(_zstd_impl, "ZstdError", None)
+    if isinstance(error, type) and issubclass(error, BaseException):
+        errors.append(error)
+    return tuple(errors)
+
+
+class NativeZstdCodec(Codec):
+    """Zstandard codec (stdlib ``compression.zstd`` or ``zstandard``).
+
+    Constructing without an importable binding raises ``RuntimeError`` —
+    check :data:`HAVE_ZSTD` (the registry does) instead of catching.
+    """
+
+    name = "zstd-native"
+    family = "dictionary"
+
+    def __init__(self, level: int = 3) -> None:
+        if _zstd_impl is None:
+            raise RuntimeError(
+                "no zstd binding available (stdlib compression.zstd or zstandard)"
+            )
+        if not 1 <= level <= 19:
+            raise ValueError("zstd level must be in [1, 19]")
+        self.level = level
+        if _ZSTD_KIND == "zstandard":
+            self._compressor = _zstd_impl.ZstdCompressor(level=level)
+            self._decompressor = _zstd_impl.ZstdDecompressor()
+        else:
+            self._compressor = None
+            self._decompressor = None
+
+    def compress(self, data: bytes) -> bytes:
+        if not isinstance(data, bytes):
+            data = bytes(data)  # bindings vary in buffer-protocol support
+        if self._compressor is not None:
+            return self._compressor.compress(data)
+        return _zstd_impl.compress(data, self.level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        try:
+            if self._decompressor is not None:
+                return self._decompressor.decompress(payload)
+            return _zstd_impl.decompress(payload)
+        except _zstd_error_types() as exc:
+            raise CorruptStreamError(str(exc)) from exc
+
+
+class NativeLz4Codec(Codec):
+    """LZ4 frame-format codec via the ``lz4`` binding.
+
+    Constructing without the binding raises ``RuntimeError`` — check
+    :data:`HAVE_LZ4` (the registry does) instead of catching.
+    """
+
+    name = "lz4-native"
+    family = "dictionary"
+
+    def __init__(self, compression_level: int = 0) -> None:
+        if _lz4_frame is None:
+            raise RuntimeError("lz4 binding not available")
+        if not 0 <= compression_level <= 16:
+            raise ValueError("lz4 compression_level must be in [0, 16]")
+        self.compression_level = compression_level
+
+    def compress(self, data: bytes) -> bytes:
+        if not isinstance(data, bytes):
+            data = bytes(data)  # bindings vary in buffer-protocol support
+        return _lz4_frame.compress(data, compression_level=self.compression_level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        try:
+            return _lz4_frame.decompress(payload)
+        except (RuntimeError, ValueError, OSError) as exc:
             raise CorruptStreamError(str(exc)) from exc

@@ -19,7 +19,14 @@ from .identity import IdentityCodec
 from .lossy import QuantizedFloatCodec, TruncatedFloatCodec
 from .lz77 import Lz77Codec
 from .lzw import LzwCodec
-from .native import NativeBwCodec, NativeLzCodec
+from .native import (
+    HAVE_LZ4,
+    HAVE_ZSTD,
+    NativeBwCodec,
+    NativeLz4Codec,
+    NativeLzCodec,
+    NativeZstdCodec,
+)
 from .parallel import ParallelCodec
 
 __all__ = [
@@ -82,6 +89,14 @@ def _register_builtins() -> None:
     register_codec("burrows-wheeler", BurrowsWheelerCodec)
     register_codec("lempel-ziv-native", NativeLzCodec)
     register_codec("burrows-wheeler-native", NativeBwCodec)
+    # Optional fast-compressor tier: registered only when a binding
+    # imports, so environments without zstd/lz4 lose the operating
+    # points but keep a working registry (paper §3.2's "introduced at
+    # any time" — availability is a per-endpoint fact).
+    if HAVE_ZSTD:
+        register_codec("zstd-native", NativeZstdCodec)
+    if HAVE_LZ4:
+        register_codec("lz4-native", NativeLz4Codec)
     # The registered parallel codecs stay on the thread strategy: they run
     # inside WorkerPool processes too, and nesting process pools would
     # fork from forks.  Callers wanting processes construct ParallelCodec

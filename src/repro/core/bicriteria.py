@@ -41,8 +41,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..compression.base import Codec, canonical_params, params_label
-from ..compression.registry import get_codec
+from ..compression.base import Codec, CodecError, canonical_params, params_label
+from ..compression.registry import available_codecs, get_codec
 from .engine import DEFAULT_BLOCK_SIZE
 
 __all__ = [
@@ -188,6 +188,7 @@ class FrontierPoint:
 def default_candidates(
     block_size: int = DEFAULT_BLOCK_SIZE,
     block_sizes: Optional[Sequence[int]] = None,
+    native: Optional[bool] = None,
 ) -> Tuple[CandidateSpec, ...]:
     """The default search grid over (codec, parameters, block size).
 
@@ -196,7 +197,28 @@ def default_candidates(
     ``block_sizes`` to also span the block-size axis (the standalone
     optimizer and the bench do; the in-pipeline policy pins it to the
     block actually in hand).
+
+    ``native`` controls the optional zstd/lz4 fast-compressor tier:
+    ``None`` (the default) includes each codec exactly when its binding
+    registered, ``True`` demands them (``CodecError`` if unregistered),
+    and ``False`` pins the grid to the always-available pure-Python
+    methods — what the deterministic bench uses so baseline CRCs do not
+    depend on which bindings the host happens to have.
     """
+    from ..compression.native import HAVE_LZ4, HAVE_ZSTD
+
+    native_methods: List[str] = []
+    if native is True or (native is None and HAVE_ZSTD):
+        native_methods.append("zstd-native")
+    if native is True or (native is None and HAVE_LZ4):
+        native_methods.append("lz4-native")
+    if native is True:
+        registered = set(available_codecs())
+        missing = [name for name in native_methods if name not in registered]
+        if missing:
+            raise CodecError(
+                f"native candidates demanded but not registered: {missing}"
+            )
     specs: List[CandidateSpec] = []
     for size in tuple(block_sizes) if block_sizes else (block_size,):
         specs.extend(
@@ -213,6 +235,9 @@ def default_candidates(
                     "burrows-wheeler", {"chunk_size": 8192}, block_size=size
                 ),
             ]
+        )
+        specs.extend(
+            CandidateSpec.make(method, block_size=size) for method in native_methods
         )
     return tuple(specs)
 

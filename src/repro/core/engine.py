@@ -364,30 +364,38 @@ Selector = Callable[[int, bytes], str]
 
 
 def cut_blocks(
-    data: Union[bytes, bytearray, Iterable[bytes]],
+    data: Union[bytes, bytearray, memoryview, Iterable[bytes]],
     block_size: int = DEFAULT_BLOCK_SIZE,
-) -> Iterator[bytes]:
+) -> Iterator[memoryview]:
     """Cut a byte string or a chunk iterable into ``block_size`` blocks.
 
     The §2.5 "Take a block of 128KB" step: full blocks are emitted as
     soon as enough input accumulated; a non-empty tail becomes the final
     (short) block.
+
+    Zero-copy: a contiguous input (``bytes``/``bytearray``/``memoryview``)
+    is cut into read-only :class:`memoryview` slices of one immutable
+    snapshot — no per-block copies.  Chunk iterables still reassemble
+    across chunk boundaries (inherent), but each completed block is
+    likewise handed out as a view of an immutable buffer.
     """
     if block_size < 1:
         raise ValueError("block_size must be positive")
-    chunks: Iterable[bytes]
-    if isinstance(data, (bytes, bytearray)):
-        chunks = (bytes(data),)
-    else:
-        chunks = data
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        buffer = data if isinstance(data, bytes) else bytes(data)
+        view = memoryview(buffer)
+        for start in range(0, len(buffer), block_size):
+            yield view[start : start + block_size]
+        return
     pending = bytearray()
-    for chunk in chunks:
+    for chunk in data:
         pending += chunk
         while len(pending) >= block_size:
-            yield bytes(pending[:block_size])
+            block = bytes(memoryview(pending)[:block_size])
             del pending[:block_size]
+            yield memoryview(block)
     if pending:
-        yield bytes(pending)
+        yield memoryview(bytes(pending))
 
 
 class BlockEngine:
@@ -426,7 +434,9 @@ class BlockEngine:
 
         return detach
 
-    def cut(self, data: Union[bytes, bytearray, Iterable[bytes]]) -> Iterator[bytes]:
+    def cut(
+        self, data: Union[bytes, bytearray, memoryview, Iterable[bytes]]
+    ) -> Iterator[memoryview]:
         """Cut ``data`` into this engine's block size."""
         return cut_blocks(data, self.block_size)
 

@@ -20,6 +20,7 @@ middleware, and the headline end-to-end benchmark treat them uniformly.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 from ..compression.registry import get_codec
@@ -102,6 +103,21 @@ class AdaptivePolicy:
     * ``candidates`` — override the search grid (defaults to
       :func:`~repro.core.bicriteria.default_candidates` at each
       block's size).
+    * ``native`` — forwarded to
+      :func:`~repro.core.bicriteria.default_candidates`: ``None``
+      auto-includes the zstd/lz4 tier when its bindings registered,
+      ``False`` pins the grid to the pure-Python methods, ``True``
+      demands the native tier.
+
+    Table-dialect knob:
+
+    * ``method_map`` — rename the table's paper-method choices before
+      they leave the selector, e.g. ``{"lempel-ziv": "zstd-native"}``
+      swaps the native operating point in wherever the §2.5 thresholds
+      would pick Lempel-Ziv.  Target names are validated against the
+      registry eagerly, so an unmapped binding fails at construction
+      rather than mid-stream.  The thresholds themselves still reason
+      in paper-method terms.
 
     Every bicriteria decision lands in the monitor's registry under the
     ``repro_bicriteria_*`` vocabulary, and the running totals
@@ -119,6 +135,8 @@ class AdaptivePolicy:
         cost_model: Optional[object] = None,
         cpu: Optional[object] = None,
         candidates: Optional[Sequence[CandidateSpec]] = None,
+        native: Optional[bool] = None,
+        method_map: Optional[Dict[str, str]] = None,
     ) -> None:
         if staleness_horizon is not None and staleness_horizon < 1:
             raise ValueError("staleness_horizon must be positive (or None)")
@@ -126,6 +144,9 @@ class AdaptivePolicy:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
         if space_budget <= 0:
             raise ValueError("space_budget must be positive")
+        if method_map:
+            for target in method_map.values():
+                get_codec(target)  # validate eagerly; raises CodecError
         self.thresholds = thresholds
         self.staleness_horizon = staleness_horizon
         self.policy = policy
@@ -133,6 +154,8 @@ class AdaptivePolicy:
         self.cost_model = cost_model
         self.cpu = cpu
         self.candidates = tuple(candidates) if candidates is not None else None
+        self.native = native
+        self.method_map = dict(method_map) if method_map else {}
         self.degraded_decisions = 0
         self.budget_violations = 0
         self.choices = 0
@@ -160,7 +183,7 @@ class AdaptivePolicy:
             return self.candidates
         grid = self._grids.get(block_size)
         if grid is None:
-            grid = default_candidates(block_size)
+            grid = default_candidates(block_size, native=self.native)
             self._grids[block_size] = grid
         return grid
 
@@ -254,7 +277,11 @@ class AdaptivePolicy:
             return self._choose_bicriteria(
                 block_size, sending_time, monitor, sample, inputs
             )
-        return select_method(inputs, self.thresholds)
+        decision = select_method(inputs, self.thresholds)
+        mapped = self.method_map.get(decision.method)
+        if mapped is not None and mapped != decision.method:
+            decision = replace(decision, method=mapped)
+        return decision
 
 
 class FixedPolicy:

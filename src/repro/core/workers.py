@@ -173,6 +173,11 @@ class WorkerPool:
         worker that dies mid-task raise ``BrokenExecutor``; callers that
         cannot tolerate that use :meth:`run`, which degrades and retries.
         """
+        if not isinstance(data, bytes):
+            # Process workers receive blocks by pickling, and memoryview
+            # blocks (the zero-copy cut path) don't pickle — the IPC copy
+            # is inherent to pool mode, so materialize here, once.
+            data = bytes(data)
         if self.registry is not None:
             record_pool_task(self.registry, self.effective_mode, self.workers)
         executor = self._ensure_executor()

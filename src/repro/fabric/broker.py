@@ -53,10 +53,12 @@ from ..middleware.attributes import (
 from ..middleware.events import Event
 from ..middleware.transport import WireFormat
 from ..obs.fabric import (
+    record_batch_flush,
     record_fabric_delivery,
     record_shard_queue_depth,
 )
 from ..obs.metrics import MetricsRegistry
+from .batching import BatchConfig, FrameBatcher
 from .cache import BlockCache
 from .sharding import shard_index
 
@@ -64,7 +66,10 @@ __all__ = ["EventFabric", "FabricSubscription", "DeliveryCallback"]
 
 #: ``callback(event, wire)`` — ``wire`` is a shared memoryview of the
 #: event's framed wire bytes when the subscription asked for it, else None.
-DeliveryCallback = Callable[[Event, Optional[memoryview]], None]
+#: Batched subscriptions receive jumbo super-frame buffers instead, and
+#: ``event`` is ``None`` when a deadline/drain flush fires without a
+#: triggering event — batching sinks must not dereference it.
+DeliveryCallback = Callable[[Optional[Event], Optional[memoryview]], None]
 
 _STOP = object()
 
@@ -85,6 +90,7 @@ class FabricSubscription:
         method: str,
         params: Optional[Mapping[str, object]],
         wire: bool,
+        batcher: Optional[FrameBatcher] = None,
     ) -> None:
         self.fabric = fabric
         self.channel_id = channel_id
@@ -92,6 +98,7 @@ class FabricSubscription:
         self.method = method
         self.params = dict(params) if params else None
         self.wire = wire
+        self.batcher = batcher
         self.active = True
         self.delivered = 0
 
@@ -126,10 +133,18 @@ class EventFabric:
         )
         self.cache = cache if cache is not None else BlockCache(registry=registry)
         self._subscriptions: Dict[str, List[FabricSubscription]] = {}
+        self._batched: List[FabricSubscription] = []
         self._lock = threading.Lock()
         self.events_published = 0
         self.deliveries_total = 0
         self.compressions_total = 0
+        self.batches_emitted = 0
+        self.batched_frames_total = 0
+        #: Wire frames actually encoded — one per (event, delivery group),
+        #: never one per subscriber.  The fanout bench holds the number of
+        #: distinct wire views its sinks observe to exactly this count,
+        #: which is what "zero per-subscriber copies" means in numbers.
+        self.wire_frames_encoded = 0
         self.subscriber_errors = 0
         self.shard_events = [0] * shards
         self._closed = False
@@ -156,6 +171,7 @@ class EventFabric:
         method: str = "none",
         params: Optional[Mapping[str, object]] = None,
         wire: bool = False,
+        batch: Optional[BatchConfig] = None,
     ) -> FabricSubscription:
         """Register ``callback`` for ``channel_id``.
 
@@ -163,11 +179,23 @@ class EventFabric:
         subscriber wants applied to payloads (``none`` = passthrough);
         subscribers sharing a configuration share one codec run per
         event.  ``wire=True`` additionally hands the callback a shared
-        memoryview of the framed wire bytes.
+        memoryview of the framed wire bytes.  ``batch`` (requires
+        ``wire=True``) coalesces this subscriber's frames into jumbo
+        super-frames: the callback then fires per *batch* — on the
+        config's thresholds, on linger deadlines (threads mode), and on
+        :meth:`flush`/:meth:`close` drains.  Cancelling a batched
+        subscription discards its pending frames (the sink is gone).
         """
-        subscription = FabricSubscription(self, channel_id, callback, method, params, wire)
+        if batch is not None and not wire:
+            raise ValueError("batch requires wire=True (batches coalesce wire frames)")
+        batcher = FrameBatcher(batch) if batch is not None else None
+        subscription = FabricSubscription(
+            self, channel_id, callback, method, params, wire, batcher=batcher
+        )
         with self._lock:
             self._subscriptions.setdefault(channel_id, []).append(subscription)
+            if batcher is not None:
+                self._batched.append(subscription)
         return subscription
 
     def _remove(self, subscription: FabricSubscription) -> None:
@@ -177,6 +205,8 @@ class EventFabric:
                 members.remove(subscription)
                 if not members:
                     del self._subscriptions[subscription.channel_id]
+            if subscription.batcher is not None and subscription in self._batched:
+                self._batched.remove(subscription)
 
     def subscriber_count(self, channel_id: Optional[str] = None) -> int:
         with self._lock:
@@ -254,6 +284,10 @@ class EventFabric:
             except queue.Empty:
                 if self._closed:
                     return
+                # Idle tick: honor linger deadlines of batches whose
+                # channels this shard owns (the sanctioned clock site).
+                if self._batched:
+                    self._flush_due_batches(shard)
                 continue
             if item is _STOP:
                 return
@@ -270,9 +304,22 @@ class EventFabric:
                         self._idle.notify_all()
 
     def flush(self, timeout: float = 5.0) -> bool:
-        """Block until every queued item has been processed (threads mode)."""
+        """Block until every queued item has been processed and every
+        pending batch has drained.
+
+        Inline mode drains batches synchronously; threads mode enqueues
+        one drain item per shard (batchers are only ever touched on the
+        shard that owns them, preserving per-channel ordering) and waits
+        for the queues to empty.
+        """
         if self.mode == "inline":
+            self._drain_batches(None)
             return True
+        if self._batched and not self._closed:
+            for shard in range(self.shard_count):
+                self._dispatch(
+                    shard, ("call", lambda s=shard: self._drain_batches(s), None)
+                )
         deadline = _loop_now() + timeout
         with self._idle:
             while self._pending > 0:
@@ -294,6 +341,7 @@ class EventFabric:
             for thread in self._threads:
                 thread.join(timeout=timeout)
         else:
+            self._drain_batches(None)
             self._closed = True
 
     # -- delivery ----------------------------------------------------------------
@@ -309,6 +357,7 @@ class EventFabric:
             groups.setdefault(key, []).append(subscription)
         deliveries = 0
         compressions = 0
+        now: Optional[float] = None
         for (method, _), group in groups.items():
             delivered, hit = self._prepare(event, method, group[0].params)
             if method != "none" and not hit:
@@ -318,19 +367,32 @@ class EventFabric:
                 if not subscription.active:
                     continue
                 if subscription.wire and wire is None:
-                    # One frame per group, shared zero-copy by all sinks.
-                    wire = memoryview(WireFormat.encode(delivered))
-                try:
-                    subscription.callback(delivered, wire if subscription.wire else None)
-                except Exception:
-                    # Threads mode isolates a blown sink from its peers
-                    # (its channel must keep flowing for everyone else);
-                    # inline mode stays loud — test/bench callers want
-                    # the stack trace, not a counter.
-                    if self.mode == "inline":
-                        raise
-                    self.subscriber_errors += 1
-                    continue
+                    # One frame per group, shared zero-copy by all sinks
+                    # (encode returns an owned bytearray; no bytes copy).
+                    wire = memoryview(WireFormat.encode(delivered)).toreadonly()
+                    self.wire_frames_encoded += 1
+                if subscription.batcher is not None:
+                    if now is None and self.mode == "threads":
+                        now = _loop_now()
+                    flushed = subscription.batcher.add(wire, now)
+                    if flushed is not None and not self._emit_batch(
+                        subscription, delivered, flushed
+                    ):
+                        continue
+                else:
+                    try:
+                        subscription.callback(
+                            delivered, wire if subscription.wire else None
+                        )
+                    except Exception:
+                        # Threads mode isolates a blown sink from its peers
+                        # (its channel must keep flowing for everyone else);
+                        # inline mode stays loud — test/bench callers want
+                        # the stack trace, not a counter.
+                        if self.mode == "inline":
+                            raise
+                        self.subscriber_errors += 1
+                        continue
                 subscription.delivered += 1
                 deliveries += 1
         self.events_published += 1
@@ -346,6 +408,55 @@ class EventFabric:
                 events_total=self.events_published,
                 deliveries_total=self.deliveries_total,
             )
+
+    def _emit_batch(self, subscription: FabricSubscription, event, flushed) -> bool:
+        """Deliver one flushed batch to its sink; returns success.
+
+        ``event`` is the member that tripped the flush, or ``None`` for
+        deadline/drain flushes — batching sinks only use the wire view.
+        """
+        self.batches_emitted += 1
+        self.batched_frames_total += flushed.frames
+        if self.registry is not None:
+            record_batch_flush(
+                self.registry,
+                frames=flushed.frames,
+                fill_ratio=flushed.fill_ratio(subscription.batcher.config),
+                reason=flushed.reason,
+            )
+        try:
+            subscription.callback(event, memoryview(flushed.wire).toreadonly())
+        except Exception:
+            if self.mode == "inline":
+                raise
+            self.subscriber_errors += 1
+            return False
+        return True
+
+    def _batched_for_shard(self, shard: Optional[int]) -> List[FabricSubscription]:
+        with self._lock:
+            batched = list(self._batched)
+        if shard is None:
+            return batched
+        return [s for s in batched if self.shard_of(s.channel_id) == shard]
+
+    def _flush_due_batches(self, shard: int) -> None:
+        """Deadline-expire batches on this shard's idle tick (threads mode)."""
+        now = _loop_now()
+        for subscription in self._batched_for_shard(shard):
+            if subscription.active and subscription.batcher.due(now):
+                flushed = subscription.batcher.flush("deadline")
+                if flushed is not None:
+                    self._emit_batch(subscription, None, flushed)
+
+    def _drain_batches(self, shard: Optional[int]) -> None:
+        """Force-flush every pending batch (``shard=None`` = all of them)."""
+        for subscription in self._batched_for_shard(shard):
+            if not subscription.active:
+                continue
+            flushed = subscription.batcher.flush("drain")
+            if flushed is not None:
+                self._emit_batch(subscription, None, flushed)
 
     def _prepare(
         self,

@@ -31,6 +31,7 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping, Optional, Tuple
 
 from ..compression.base import canonical_params, params_label
@@ -53,9 +54,11 @@ CacheKey = Tuple[int, int, str, Tuple[Tuple[str, object], ...]]
 class CachedBlock:
     """One remembered compression: the wire bytes and what they cost.
 
-    ``payload`` is shared by every consumer (bytes are immutable); the
-    ``view`` property hands out a zero-copy :class:`memoryview` for
-    socket writes and frame assembly.  ``method`` is the method that
+    ``payload`` is shared by every consumer (bytes are immutable);
+    ``view`` is **one** shared read-only :class:`memoryview` over it,
+    created on first access and handed to every subsequent consumer —
+    fan-out of a cached block allocates nothing per subscriber, and the
+    fanout bench asserts the identity.  ``method`` is the method that
     actually produced the bytes — it differs from ``requested_method``
     when the expansion guard fell back to ``none``.
     """
@@ -67,9 +70,11 @@ class CachedBlock:
     seconds: float
     fell_back: bool = False
 
-    @property
+    @cached_property
     def view(self) -> memoryview:
-        return memoryview(self.payload)
+        # cached_property writes straight to __dict__, bypassing the
+        # frozen dataclass guard: every caller shares this one view.
+        return memoryview(self.payload).toreadonly()
 
     def as_execution(self) -> BlockExecution:
         """Re-materialize the engine's execution record for observers."""
@@ -153,11 +158,16 @@ class BlockCache:
         execution = executor.compress(method, payload)
         with self._lock:
             self.misses += 1
+        stored = execution.payload
+        if not isinstance(stored, bytes):
+            # copy-ok: a cached entry outlives the event; retaining a view
+            # here would pin the producer's whole backing buffer in the LRU.
+            stored = bytes(stored)
         block = CachedBlock(
             requested_method=execution.requested_method,
             method=execution.method,
             original_size=execution.original_size,
-            payload=execution.payload,
+            payload=stored,
             seconds=execution.seconds,
             fell_back=execution.fell_back,
         )

@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..compression.base import CorruptStreamError
-from ..compression.framing import Frame, decode_frame, encode_frame
+from ..compression.framing import (
+    Frame,
+    decode_frame,
+    encode_frame,
+    encode_frame_parts,
+)
 from ..netsim.clock import Clock
 from ..netsim.faults import FaultExhaustedError, FaultPlan, RetryPolicy
 from ..netsim.link import SimulatedLink
@@ -60,8 +65,22 @@ class WireFormat:
     """
 
     @staticmethod
-    def encode(event: Event) -> bytes:
-        header = json.dumps(
+    def encode(event: Event) -> bytearray:
+        """One owned frame buffer for the event (no trailing copy)."""
+        return encode_frame(WireFormat._header(event), event.payload)
+
+    @staticmethod
+    def encode_parts(event: Event) -> list:
+        """The event frame as a gather list for vectored socket writes.
+
+        The payload element is the event's own payload object — a large
+        payload never gets copied into a contiguous wire buffer.
+        """
+        return encode_frame_parts(WireFormat._header(event), event.payload)
+
+    @staticmethod
+    def _header(event: Event) -> bytes:
+        return json.dumps(
             {
                 "channel": event.channel_id,
                 "sequence": event.sequence,
@@ -70,12 +89,16 @@ class WireFormat:
             },
             separators=(",", ":"),
         ).encode()
-        return encode_frame(header, event.payload)
 
     @staticmethod
     def from_frame(frame: Frame) -> Event:
-        """Reconstruct an event from an already-parsed frame."""
-        header = json.loads(frame.header.decode())
+        """Reconstruct an event from an already-parsed frame.
+
+        The payload is taken as-is — a view-backed frame yields a
+        view-backed event (zero-copy receive); sinks that retain the
+        event past the receive buffer's lifetime must copy.
+        """
+        header = json.loads(frame.header_bytes)
         return Event(
             payload=frame.payload,
             attributes=dict(header["attributes"]),

@@ -40,6 +40,9 @@ from .benchfmt import (
 )
 from .block import BlockTelemetry, record_execution
 from .fabric import (
+    BATCH_FILL_RATIO,
+    BATCH_FRAMES_TOTAL,
+    record_batch_flush,
     record_cache_eviction,
     record_cache_hit,
     record_cache_miss,
@@ -58,6 +61,8 @@ from .metrics import (
 from .trace import TraceWriter, read_trace
 
 __all__ = [
+    "BATCH_FILL_RATIO",
+    "BATCH_FRAMES_TOTAL",
     "BENCH_SCHEMA",
     "BUDGET_VIOLATIONS_TOTAL",
     "BenchMetric",
@@ -77,6 +82,7 @@ __all__ = [
     "get_registry",
     "load_report",
     "read_trace",
+    "record_batch_flush",
     "record_cache_eviction",
     "record_cache_hit",
     "record_cache_miss",

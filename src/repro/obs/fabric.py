@@ -28,6 +28,9 @@ __all__ = [
     "FABRIC_COMPRESSIONS_TOTAL",
     "FABRIC_FANOUT_RATIO",
     "FABRIC_SHARD_QUEUE_DEPTH",
+    "BATCH_FRAMES_TOTAL",
+    "BATCH_FILL_RATIO",
+    "record_batch_flush",
     "record_cache_hit",
     "record_cache_miss",
     "record_cache_eviction",
@@ -49,6 +52,29 @@ FABRIC_DELIVERIES_TOTAL = "repro_fabric_deliveries_total"
 FABRIC_COMPRESSIONS_TOTAL = "repro_fabric_compressions_total"
 FABRIC_FANOUT_RATIO = "repro_fabric_fanout_ratio"
 FABRIC_SHARD_QUEUE_DEPTH = "repro_fabric_shard_queue_depth"
+
+#: Jumbo-frame batching (repro.fabric.batching).
+BATCH_FRAMES_TOTAL = "repro_batch_frames_total"
+BATCH_FILL_RATIO = "repro_batch_fill_ratio"
+
+
+def record_batch_flush(
+    registry: MetricsRegistry, frames: int, fill_ratio: float, reason: str
+) -> None:
+    """Fold one flushed jumbo frame into the batching vocabulary.
+
+    ``frames`` is how many inner event frames the super-frame coalesced;
+    ``fill_ratio`` is its payload bytes over the batcher's byte budget
+    (how full the batch was when it shipped), and ``reason`` labels what
+    tripped the flush — ``frames``/``bytes`` thresholds, a ``deadline``
+    expiry, or an explicit ``drain``.
+    """
+    registry.counter(
+        BATCH_FRAMES_TOTAL, help="event frames coalesced into jumbo super-frames"
+    ).inc(frames, reason=reason)
+    registry.gauge(
+        BATCH_FILL_RATIO, help="payload fill ratio of the last flushed batch"
+    ).set(fill_ratio, reason=reason)
 
 
 def record_cache_hit(registry: MetricsRegistry, method: str, params: str) -> None:

@@ -291,6 +291,62 @@ def check_corruption(name: str, codec: Codec, corpus: Dict[str, bytes]) -> Itera
     )
 
 
+@_check("buffer-protocol-inputs")
+def check_buffer_inputs(
+    name: str, codec: Codec, corpus: Dict[str, bytes]
+) -> Iterator[CheckResult]:
+    """Codecs must accept any buffer-protocol input with identical wire bytes.
+
+    The zero-copy pipeline hands codecs ``memoryview`` slices of larger
+    buffers (engine blocks, cached payloads) and ``bytearray`` scratch
+    space; the wire bytes must not depend on the container type, or the
+    differential oracles and the bench's CRC gates would diverge based on
+    which layer called compress.
+    """
+    if _is_lossy(codec):
+        data = _float_block(corpus)[:4096]
+    else:
+        data = (corpus.get("commercial") or corpus.get("lowentropy") or b"corpus ")[:4096]
+        if name.startswith("arithmetic"):
+            data = data[:2048]
+    try:
+        baseline = codec.compress(data)
+    except Exception as exc:  # noqa: BLE001
+        yield _result("buffer-protocol-inputs", name, "bytes", False, f"raised {exc!r}")
+        return
+    variants = {
+        "bytearray": bytearray(data),
+        "memoryview": memoryview(data),
+        "memoryview-slice": memoryview(b"\x00" + data + b"\x00")[1:-1],
+    }
+    for case, variant in variants.items():
+        try:
+            wire = codec.compress(variant)
+        except Exception as exc:  # noqa: BLE001
+            yield _result("buffer-protocol-inputs", name, case, False, f"raised {exc!r}")
+            continue
+        yield _result(
+            "buffer-protocol-inputs", name, case, wire == baseline,
+            "" if wire == baseline else
+            f"{case} input compressed to different wire bytes than bytes input",
+        )
+    for case, payload in (
+        ("decompress-bytearray", bytearray(baseline)),
+        ("decompress-memoryview", memoryview(baseline)),
+    ):
+        try:
+            restored = codec.decompress(payload)
+        except Exception as exc:  # noqa: BLE001
+            yield _result("buffer-protocol-inputs", name, case, False, f"raised {exc!r}")
+            continue
+        expected = codec.decompress(baseline)
+        yield _result(
+            "buffer-protocol-inputs", name, case, restored == expected,
+            "" if restored == expected else
+            f"{case} decoded differently than the bytes payload",
+        )
+
+
 @_check("lossy-contract")
 def check_lossy(name: str, codec: Codec, corpus: Dict[str, bytes]) -> Iterator[CheckResult]:
     if not _is_lossy(codec):

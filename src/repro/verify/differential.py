@@ -29,6 +29,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..compression import native as _native
 from ..compression.bwt import bwt_inverse, bwt_transform
 from ..compression.mtf import mtf_decode, mtf_encode
 from ..compression.parallel import ParallelCodec
@@ -92,6 +93,25 @@ REFERENCE_COUNTERPARTS: Dict[str, ReferenceCounterpart] = {
         label="lzma", compress=lzma.compress, decompress=lzma.decompress
     ),
 }
+
+# The optional fast-compressor tier gets its oracles only when a binding
+# is importable — matching the registry, which skips the codecs then.
+# The counterpart drives the binding's *module-level* one-shot helpers at
+# default settings while our codec goes through the object API: the check
+# is that the wrapper emits the standard frame format (level and API
+# choices must not leak into decodability).
+if _native.HAVE_ZSTD:
+    REFERENCE_COUNTERPARTS["zstd-native"] = ReferenceCounterpart(
+        label="zstd",
+        compress=lambda data: _native._zstd_impl.compress(data),
+        decompress=lambda payload: _native._zstd_impl.decompress(payload),
+    )
+if _native.HAVE_LZ4:
+    import lz4.frame as _lz4_frame  # type: ignore[import-not-found]
+
+    REFERENCE_COUNTERPARTS["lz4-native"] = ReferenceCounterpart(
+        label="lz4", compress=_lz4_frame.compress, decompress=_lz4_frame.decompress
+    )
 
 
 def counterpart_for(name: str) -> Optional[ReferenceCounterpart]:

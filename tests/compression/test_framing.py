@@ -15,13 +15,19 @@ from repro.compression.framing import (
     DEFAULT_MAX_FRAME_SIZE,
     FLAG_CRC32,
     FRAME_V2_MAGIC,
+    JUMBO_HEADER,
     MAX_METHOD_NAME,
     Frame,
     FrameDecoder,
     decode_frame,
     encode_block_frame,
     encode_frame,
+    encode_frame_into,
+    encode_frame_parts,
+    encode_jumbo_frame,
+    is_jumbo_frame,
     parse_frame,
+    unpack_jumbo_frame,
 )
 from repro.compression.registry import available_codecs, get_codec
 from repro.compression.streaming import StreamingCompressor
@@ -263,3 +269,206 @@ class TestTransportInterop:
             right.close()
         assert bytes(restored) == original
         assert frames == compressor.frames_emitted
+
+
+class TestZeroCopyParsing:
+    """parse_frame returns lazy views by default; copy= is the escape hatch."""
+
+    def test_default_parse_returns_readonly_views(self):
+        wire = encode_frame(b"header", b"payload")
+        frame, _ = decode_frame(wire)
+        assert isinstance(frame.header, memoryview) and frame.header.readonly
+        assert isinstance(frame.payload, memoryview) and frame.payload.readonly
+        assert frame.header == b"header"
+        assert frame.payload == b"payload"
+
+    def test_views_alias_the_input_buffer(self):
+        payload = bytes(range(256)) * 16
+        wire = bytes(encode_frame(b"h", payload, check=False))
+        frame, _ = decode_frame(wire)
+        # Same memory, not a copy: mutating a writable input would show
+        # through, so prove aliasing structurally instead.
+        assert frame.payload.obj is wire
+        assert frame.payload.nbytes == len(payload)
+
+    def test_copy_true_returns_owned_bytes(self):
+        wire = encode_frame(b"header", b"payload")
+        frame, _ = decode_frame(wire, copy=True)
+        assert isinstance(frame.header, bytes)
+        assert isinstance(frame.payload, bytes)
+        assert (frame.header, frame.payload) == (b"header", b"payload")
+
+    def test_materialization_properties(self):
+        frame, _ = decode_frame(encode_frame(b"hdr", b"pay"))
+        assert isinstance(frame.header_bytes, bytes)
+        assert isinstance(frame.payload_bytes, bytes)
+        assert frame.header_bytes == b"hdr"
+        assert frame.payload_bytes == b"pay"
+        # Already-owned bytes pass through without another copy.
+        owned = Frame(header=b"h", payload=b"p")
+        assert owned.header_bytes is owned.header
+        assert owned.payload_bytes is owned.payload
+
+    def test_view_backed_frames_compare_equal_to_owned(self):
+        wire = encode_frame(b"h", b"p")
+        lazy, _ = decode_frame(wire)
+        owned, _ = decode_frame(wire, copy=True)
+        assert lazy == owned
+
+    def test_decoder_views_survive_subsequent_feeds(self):
+        # Frames from feed N must stay valid after feed N+1 (the decoder
+        # never compacts a buffer live frames still view).
+        decoder = FrameDecoder()
+        first = decoder.feed(bytes(encode_frame(b"a", b"one")))
+        second = decoder.feed(bytes(encode_frame(b"b", b"two")))
+        assert first[0].payload == b"one"
+        assert second[0].payload == b"two"
+
+    def test_decoder_copy_mode_returns_owned_bytes(self):
+        frames = FrameDecoder(copy=True).feed(bytes(encode_frame(b"h", b"p")))
+        assert isinstance(frames[0].payload, bytes)
+
+    def test_parse_accepts_any_buffer_type(self):
+        wire = encode_frame(b"h", b"payload")
+        for cast in (bytes, bytearray, lambda b: memoryview(bytes(b))):
+            frame, _ = decode_frame(cast(wire))
+            assert frame.payload == b"payload"
+
+
+class TestGatherEncoding:
+    """encode_frame_parts/encode_frame_into mirror encode_frame exactly."""
+
+    def test_parts_join_to_the_contiguous_encoding(self):
+        for check in (True, False):
+            parts = encode_frame_parts(b"header", b"payload-bytes", check=check)
+            assert b"".join(bytes(p) for p in parts) == bytes(
+                encode_frame(b"header", b"payload-bytes", check=check)
+            )
+
+    def test_parts_reference_caller_buffers_unchanged(self):
+        header, payload = b"hdr", b"x" * 4096
+        parts = encode_frame_parts(header, payload)
+        assert any(part is header for part in parts)
+        assert any(part is payload for part in parts)
+
+    def test_encode_into_appends_and_reports_length(self):
+        out = bytearray(b"prefix")
+        written = encode_frame_into(out, b"h", b"payload")
+        assert written == len(out) - len(b"prefix")
+        assert bytes(out[len(b"prefix"):]) == bytes(encode_frame(b"h", b"payload"))
+
+    def test_memoryview_inputs_encode_identically(self):
+        header, payload = b"hdr", b"payload bytes here"
+        from_views = encode_frame(memoryview(header), memoryview(payload))
+        assert bytes(from_views) == bytes(encode_frame(header, payload))
+
+
+class TestJumboFrames:
+    """Batch super-frames: envelope, verbatim members, hostile input."""
+
+    def members(self, count=4):
+        return [
+            bytes(encode_frame(b'{"i": %d}' % i, bytes([i]) * (i + 1)))
+            for i in range(count)
+        ]
+
+    def test_round_trip_recovers_members_in_order(self):
+        members = self.members()
+        jumbo, _ = decode_frame(encode_jumbo_frame(members))
+        assert is_jumbo_frame(jumbo)
+        unpacked = unpack_jumbo_frame(jumbo)
+        assert [m.payload_bytes for m in unpacked] == [
+            decode_frame(raw)[0].payload_bytes for raw in members
+        ]
+
+    def test_members_ride_verbatim(self):
+        # The jumbo payload embeds each encoded member byte for byte, so
+        # CRC chains over sliced members equal the unbatched chain.
+        members = self.members()
+        jumbo, _ = decode_frame(encode_jumbo_frame(members))
+        assert b"".join(members) in jumbo.payload_bytes
+
+    def test_jumbo_is_an_ordinary_checked_frame(self):
+        jumbo, offset = decode_frame(encode_jumbo_frame(self.members()))
+        assert jumbo.checked
+        assert jumbo.header == JUMBO_HEADER
+
+    def test_unpack_is_zero_copy(self):
+        jumbo, _ = decode_frame(encode_jumbo_frame(self.members()))
+        for member in unpack_jumbo_frame(jumbo):
+            assert isinstance(member.payload, memoryview)
+
+    def test_non_jumbo_frame_returns_none(self):
+        plain, _ = decode_frame(encode_frame(b'{"k": 1}', b"payload"))
+        assert not is_jumbo_frame(plain)
+        assert unpack_jumbo_frame(plain) is None
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_jumbo_frame([])
+
+    def test_single_member_batch_round_trips(self):
+        member = bytes(encode_frame(b"h", b"lone"))
+        jumbo, _ = decode_frame(encode_jumbo_frame([member]))
+        unpacked = unpack_jumbo_frame(jumbo)
+        assert len(unpacked) == 1
+        assert unpacked[0].payload == b"lone"
+
+    def test_corrupt_member_attributed_not_whole_batch(self):
+        # Damage one member's CRC *inside* the jumbo payload: the jumbo
+        # envelope CRC is recomputed so only the inner parse fails.
+        members = self.members()
+        wire = bytearray(encode_jumbo_frame(members))
+        import zlib
+
+        from repro.compression.varint import write_varint
+
+        jumbo, _ = decode_frame(bytes(wire))
+        payload = bytearray(jumbo.payload_bytes)
+        payload[-1] ^= 0xFF  # last byte of the last member's CRC
+        rebuilt = bytearray()
+        rebuilt += FRAME_V2_MAGIC
+        write_varint(rebuilt, FLAG_CRC32)
+        write_varint(rebuilt, len(JUMBO_HEADER))
+        rebuilt += JUMBO_HEADER
+        write_varint(rebuilt, len(payload))
+        rebuilt += payload
+        crc = zlib.crc32(payload, zlib.crc32(JUMBO_HEADER))
+        rebuilt += crc.to_bytes(4, "little")
+        damaged, _ = decode_frame(bytes(rebuilt))
+        with pytest.raises(CorruptStreamError):
+            unpack_jumbo_frame(damaged)
+
+    def test_offset_table_extent_mismatch_rejected(self):
+        import zlib
+
+        from repro.compression.varint import write_varint
+
+        members = self.members(2)
+        payload = bytearray()
+        write_varint(payload, 2)
+        write_varint(payload, len(members[0]) + 1)  # lies about the extent
+        write_varint(payload, len(members[1]))
+        payload += members[0] + members[1] + b"\x00"
+        rebuilt = bytearray()
+        rebuilt += FRAME_V2_MAGIC
+        write_varint(rebuilt, FLAG_CRC32)
+        write_varint(rebuilt, len(JUMBO_HEADER))
+        rebuilt += JUMBO_HEADER
+        write_varint(rebuilt, len(payload))
+        rebuilt += payload
+        rebuilt += (
+            zlib.crc32(payload, zlib.crc32(JUMBO_HEADER)).to_bytes(4, "little")
+        )
+        frame, _ = decode_frame(bytes(rebuilt))
+        with pytest.raises(CorruptStreamError):
+            unpack_jumbo_frame(frame)
+
+    def test_jumbo_parses_through_the_frame_decoder(self):
+        members = self.members(3)
+        wire = bytes(encode_jumbo_frame(members)) + bytes(encode_frame(b"h", b"after"))
+        frames = FrameDecoder().feed(wire)
+        assert len(frames) == 2
+        assert is_jumbo_frame(frames[0])
+        assert len(unpack_jumbo_frame(frames[0])) == 3
+        assert frames[1].payload == b"after"

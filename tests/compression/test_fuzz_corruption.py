@@ -81,7 +81,10 @@ class TestWireFormatFuzz:
                 event = WireFormat.decode(mutated)
             except (ValueError, KeyError, CorruptStreamError, UnicodeDecodeError):
                 continue
-            assert isinstance(event.payload, bytes)
+            # Decode is zero-copy: payloads arrive as read-only views.
+            assert isinstance(event.payload, (bytes, memoryview))
+            if isinstance(event.payload, memoryview):
+                assert event.payload.readonly
 
     @given(st.binary(max_size=300))
     @settings(max_examples=80)

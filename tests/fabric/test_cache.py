@@ -146,3 +146,19 @@ def test_bounds_must_be_positive():
         BlockCache(max_entries=0)
     with pytest.raises(ValueError):
         BlockCache(max_bytes=0)
+
+
+def test_cached_block_view_is_one_shared_readonly_memoryview():
+    # One view per cached block, created lazily and handed to every
+    # consumer — fan-out of a cached block allocates nothing per
+    # subscriber (the fanout bench asserts the same identity end to end).
+    executor = CountingExecutor()
+    cache = BlockCache()
+    cache.execute(executor, "huffman", PAYLOAD)
+    (block,) = cache._entries.values()
+    first = block.view
+    second = block.view
+    assert first is second
+    assert first.readonly
+    assert first.obj is block.payload
+    assert bytes(first) == block.payload

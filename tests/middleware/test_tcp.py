@@ -162,3 +162,55 @@ class TestReconnect:
             assert remote.reconnects == 0
         finally:
             remote.close()
+
+
+class TestBatchedTransport:
+    """Server-side jumbo batching is transparent to the client mirror."""
+
+    def test_batched_events_arrive_intact_and_in_order(self):
+        from repro.fabric.batching import BatchConfig
+
+        server = ChannelServer(
+            batch=BatchConfig(max_frames=4, max_bytes=1 << 20, linger_seconds=0.05)
+        )
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "feed")
+        received = []
+        remote.mirror.subscribe(received.append)
+        try:
+            for i in range(8):
+                channel.submit(Event(payload=bytes([i]) * 64, attributes={"i": i}))
+            assert remote.wait_for(8)
+            assert [e.attributes["i"] for e in received] == list(range(8))
+            assert [e.payload for e in received] == [bytes([i]) * 64 for i in range(8)]
+            # Coalescing happened: at least one jumbo super-frame crossed
+            # the socket (8 rapid events against a 4-frame cap).
+            assert remote.batches_received >= 1
+            # Transport attributes survive the unpack.
+            assert all(e.attributes["transport.wire_size"] > 0 for e in received)
+            assert all(e.attributes["transport.seconds"] > 0 for e in received)
+        finally:
+            remote.close()
+            server.close()
+
+    def test_deadline_flush_delivers_a_lone_event(self):
+        # One event under a large frame cap: only the linger deadline can
+        # emit it, and a batch of one travels as the bare member frame.
+        from repro.fabric.batching import BatchConfig
+
+        server = ChannelServer(
+            batch=BatchConfig(max_frames=64, max_bytes=1 << 20, linger_seconds=0.01)
+        )
+        channel = EventChannel("feed")
+        server.offer(channel)
+        host, port = server.address
+        remote = RemoteChannel(host, port, "feed")
+        try:
+            channel.submit(Event(payload=b"lone"))
+            assert remote.wait_for(1)
+            assert remote.batches_received == 0  # bare frame, no envelope
+        finally:
+            remote.close()
+            server.close()

@@ -117,3 +117,38 @@ class TestBrokenCodecIsFlagged:
         finally:
             unregister_codec(_RejectingCodec.name)
         assert not conformance_failures(results)
+
+
+class TestBufferProtocolCheck:
+    """The buffer-protocol-inputs check: bytes/bytearray/memoryview parity."""
+
+    def test_check_is_part_of_the_kit(self):
+        assert "buffer-protocol-inputs" in CONFORMANCE_CHECKS
+
+    def test_input_type_sensitive_codec_is_flagged(self, small_corpus):
+        class _TypeSensitiveCodec(Codec):
+            """Broken on purpose: views compress differently than bytes."""
+
+            name = "broken-type-sensitive"
+            family = "test"
+
+            def compress(self, data: bytes) -> bytes:
+                if isinstance(data, bytes):
+                    return data
+                return bytes(data) + b"\x00"  # views get a stray suffix
+
+            def decompress(self, payload: bytes) -> bytes:
+                return bytes(payload).rstrip(b"\x00")
+
+        register_codec(_TypeSensitiveCodec.name, _TypeSensitiveCodec)
+        try:
+            results = run_conformance(
+                names=[_TypeSensitiveCodec.name],
+                corpus=small_corpus,
+                checks=["buffer-protocol-inputs"],
+            )
+        finally:
+            unregister_codec(_TypeSensitiveCodec.name)
+        failures = conformance_failures(results)
+        assert failures, "kit missed the input-type-sensitive codec"
+        assert all(f.check == "buffer-protocol-inputs" for f in failures)
