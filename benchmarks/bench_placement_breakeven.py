@@ -1,0 +1,100 @@
+"""Placement break-even model — decision cost and the never-lose invariant.
+
+The placement decision runs once per block on top of the bicriteria
+candidate evaluation, so pricing the three arrangements and picking the
+winner must stay microseconds-cheap.  The dominance half mirrors the CI
+placement gate: because always-``producer`` is itself in the priced set,
+the break-even ``auto`` choice can never model slower than it — on any
+link class, per block or end-to-end.
+"""
+
+import math
+import zlib
+
+from repro.core.bicriteria import default_candidates, evaluate_candidates
+from repro.core.placement import (
+    choose_placement,
+    evaluate_placements,
+    raw_breakeven_seconds,
+)
+from repro.experiments.placement import (
+    DEFAULT_INTERFERENCE,
+    LINK_CLASSES,
+    placement_breakdown,
+)
+from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE
+from repro.netsim.link import PAPER_LINKS
+
+_BLOCK_SIZE = 128 * 1024
+
+
+def _best_point(sending_time, sampled_ratio=0.35):
+    points = evaluate_candidates(
+        default_candidates(_BLOCK_SIZE),
+        sending_time,
+        calibration=DEFAULT_COSTS,
+        cpu=SUN_FIRE,
+        sample=sampled_ratio,
+        base_block_size=_BLOCK_SIZE,
+    )
+    compressing = [p for p in points.values() if p.method != "none"]
+    return min(compressing, key=lambda p: (p.total_seconds, p.space))
+
+
+def _decide_once(sending_time, point):
+    costs = evaluate_placements(
+        point,
+        sending_time,
+        downstream_seconds=sending_time * 4.0,
+        interference=DEFAULT_INTERFERENCE,
+    )
+    return choose_placement(costs)
+
+
+def test_placement_decision_speed(benchmark, record_bench):
+    """Pricing the three arrangements + picking one (the per-block cost)."""
+    sending_time = _BLOCK_SIZE / PAPER_LINKS["100mbit"].throughput
+    point = _best_point(sending_time)
+    chosen = benchmark(_decide_once, sending_time, point)
+    assert chosen.placement in ("producer", "raw", "consumer")
+    assert chosen.total_seconds > 0
+    record_bench(
+        "placement.chosen_100mbit", hash(chosen.placement) % 2**32, unit="hash"
+    )
+    knee = raw_breakeven_seconds(point, interference=DEFAULT_INTERFERENCE)
+    assert math.isfinite(knee) and knee > 0
+    record_bench(
+        "placement.raw_breakeven_100mbit_seconds", knee,
+        unit="seconds", better="near", tolerance=0.10,
+    )
+
+
+def test_placement_auto_never_loses(record_bench):
+    """Per link class, auto's modeled makespan <= always-producer's."""
+    cells = placement_breakdown(
+        total_blocks=6, block_size=_BLOCK_SIZE, interference=DEFAULT_INTERFERENCE
+    )
+    by_key = {(c.link, c.mode): c for c in cells}
+    advantage = 0.0
+    crcs = []
+    for link in LINK_CLASSES:
+        producer = by_key[(link, "producer")]
+        consumer = by_key[(link, "consumer")]
+        auto = by_key[(link, "auto")]
+        assert auto.makespan <= producer.makespan * (1.0 + 1e-9), link
+        assert auto.serial_seconds <= producer.serial_seconds * (1.0 + 1e-9), link
+        # The relay contract: consumer-placed bytes equal producer-placed.
+        assert consumer.downstream_crc32 == producer.downstream_crc32, link
+        # The offload signature: nothing compresses at the producer.
+        assert consumer.compress_seconds == 0.0, link
+        advantage += producer.makespan - auto.makespan
+        crcs.append(auto.downstream_crc32)
+    record_bench(
+        "placement.auto_advantage_seconds", advantage,
+        unit="seconds", better="higher", tolerance=0.10,
+    )
+    record_bench(
+        "placement.auto_downstream_crc32",
+        zlib.crc32(",".join(str(c) for c in crcs).encode()),
+        unit="crc32",
+    )

@@ -51,6 +51,10 @@ from repro.core.monitor import ReducingSpeedMonitor  # noqa: E402
 from repro.core.workers import PipelinedBlockEngine, WorkerPool, simulate_pipeline  # noqa: E402
 from repro.data.commercial import CommercialDataGenerator  # noqa: E402
 from repro.experiments.config import ReplayConfig  # noqa: E402
+from repro.experiments.placement import (  # noqa: E402
+    DEFAULT_INTERFERENCE,
+    placement_breakdown,
+)
 from repro.experiments.replay import commercial_blocks, make_policy, run_replay  # noqa: E402
 from repro.fabric.loadgen import FanoutConfig, run_fanout  # noqa: E402
 from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
@@ -108,9 +112,18 @@ RAW_FRAME_REPEATS = 9
 RAW_CODEC_BLOCK = 16 * 1024
 RAW_CODECS = ("huffman", "lempel-ziv", "burrows-wheeler", "lzw")
 
+#: Placement break-even scenario: the DTSchedule-style matrix at a scale
+#: small enough for the smoke job, large enough that both regimes appear
+#: (raw wins the intranet links, consumer offload wins the slow ones).
+PLACEMENT_BLOCKS = 8
+PLACEMENT_BLOCK_SIZE = 128 * 1024
+
 #: Metrics the raw-path work is never allowed to regress, one-sided.
+#: The placement entry ratchets the fast-LAN auto arrangement: modeled
+#: end-to-end seconds on 1gbit may improve but never regress.
 RAW_RATCHETS = (("pool.pooled_mb_per_s", "higher"),
-                ("fig08.compression_seconds_total", "lower"))
+                ("fig08.compression_seconds_total", "lower"),
+                ("placement_breakeven.1gbit.auto_seconds", "lower"))
 
 
 def _crc(parts) -> int:
@@ -653,6 +666,65 @@ def raw_path(report: BenchReport) -> None:
         )
 
 
+def placement_breakeven(report: BenchReport) -> None:
+    """Placement gate: break-even auto scheduling must never lose.
+
+    Runs the DTSchedule-style placement matrix (producer → 1gbit relay →
+    downstream link, :func:`placement_breakdown`) and hard-gates (an
+    AssertionError aborts the bench run):
+
+    * **auto never loses** — per link class the ``auto`` arrangement's
+      modeled end-to-end makespan is <= always-``producer`` (tiny
+      relative slack: the two tie to the last ulp on slow links);
+    * **byte-exactness** — the ``consumer`` arrangement's downstream
+      wire CRC chain equals the ``producer`` one (relay compression
+      produced identical bytes).
+
+    The recorded per-link seconds are deterministic (modeled costs over
+    mean transfer times), so the baseline comparison is exact — and the
+    1gbit auto seconds additionally sit on the one-sided ratchet.
+    """
+    cells = placement_breakdown(
+        total_blocks=PLACEMENT_BLOCKS,
+        block_size=PLACEMENT_BLOCK_SIZE,
+        interference=DEFAULT_INTERFERENCE,
+    )
+    by_key = {(c.link, c.mode): c for c in cells}
+    links = sorted({c.link for c in cells})
+    for link in links:
+        producer = by_key[(link, "producer")]
+        consumer = by_key[(link, "consumer")]
+        auto = by_key[(link, "auto")]
+        if auto.makespan > producer.makespan * (1.0 + 1e-9):
+            raise AssertionError(
+                f"auto placement {auto.makespan:g}s slower than "
+                f"always-producer {producer.makespan:g}s on {link}"
+            )
+        if consumer.downstream_crc32 != producer.downstream_crc32:
+            raise AssertionError(
+                f"consumer downstream CRC {consumer.downstream_crc32:#010x} != "
+                f"producer {producer.downstream_crc32:#010x} on {link}"
+            )
+        report.record(
+            f"placement_breakeven.{link}.producer_seconds", producer.makespan,
+            unit="seconds", better="lower", tolerance=0.10,
+        )
+        report.record(
+            f"placement_breakeven.{link}.auto_seconds", auto.makespan,
+            unit="seconds", better="lower", tolerance=0.10,
+        )
+        report.record(
+            f"placement_breakeven.{link}.auto_placements_crc32",
+            _crc(sorted(auto.placements.items())), unit="crc32",
+            better="near", tolerance=0.0,
+        )
+        report.record(
+            f"placement_breakeven.{link}.downstream_crc32",
+            producer.downstream_crc32, unit="crc32",
+            better="near", tolerance=0.0,
+        )
+
+
 def check_ratchets(baseline: BenchReport, candidate: BenchReport) -> list:
     """One-sided raw-path ratchet: these may equal the baseline, never lose."""
     failures = []
@@ -719,6 +791,12 @@ def build_report() -> BenchReport:
                 "codec_block": RAW_CODEC_BLOCK,
                 "codecs": list(RAW_CODECS),
             },
+            "placement_breakeven": {
+                "blocks": PLACEMENT_BLOCKS,
+                "block_size": PLACEMENT_BLOCK_SIZE,
+                "interference": DEFAULT_INTERFERENCE,
+                "upstream": "1gbit",
+            },
         }
     )
     fig01_decision_sweep(report)
@@ -728,6 +806,7 @@ def build_report() -> BenchReport:
     fanout_throughput(report)
     bicriteria_pareto(report)
     raw_path(report)
+    placement_breakeven(report)
     return report
 
 
@@ -775,8 +854,50 @@ def write_summary(path, baseline, candidate, comparison) -> None:
             f"| {section} | {scalar} | — | {candidate.metrics[name].value:g} "
             f"| — | new |"
         )
+    placement_line = placement_verdict(candidate)
+    if placement_line:
+        lines.extend(["", placement_line])
     with open(path, "a", encoding="utf-8") as sink:
         sink.write("\n".join(lines) + "\n\n")
+
+
+def placement_verdict(candidate: BenchReport) -> str:
+    """One-line placement verdict for the step summary.
+
+    Counts, per link class, whether the auto arrangement's modeled
+    end-to-end seconds beat (or tie) always-producer in the candidate
+    report; build_report() already hard-gated <=, so this row is the
+    human-readable restatement of that result.
+    """
+    links = sorted(
+        name.split(".")[1]
+        for name in candidate.metrics
+        if name.startswith("placement_breakeven.") and name.endswith(".auto_seconds")
+    )
+    if not links:
+        return ""
+    wins = sum(
+        1
+        for link in links
+        if candidate.metrics[f"placement_breakeven.{link}.auto_seconds"].value
+        <= candidate.metrics[f"placement_breakeven.{link}.producer_seconds"].value
+        * (1.0 + 1e-9)
+    )
+    fast = min(
+        links,
+        key=lambda link: candidate.metrics[
+            f"placement_breakeven.{link}.producer_seconds"
+        ].value,
+    )
+    saved = (
+        candidate.metrics[f"placement_breakeven.{fast}.producer_seconds"].value
+        - candidate.metrics[f"placement_breakeven.{fast}.auto_seconds"].value
+    )
+    return (
+        f"**placement**: auto ≤ always-producer on {wins}/{len(links)} "
+        f"link classes (fastest link {fast}: {saved:.3f}s saved per "
+        f"{PLACEMENT_BLOCKS}-block stream)"
+    )
 
 
 def main(argv=None) -> int:

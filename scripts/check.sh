@@ -13,14 +13,20 @@
 #   6. fuzz gate         — regression-corpus replay, conformance kit,
 #                          differential sweep, and a time-boxed seeded
 #                          fuzz run (opt-in via --fuzz; same job CI runs)
+#   7. placement gate    — break-even placement never loses to
+#                          always-producer; relay fan-out byte-exact
+#                          through a hostile wire (opt-in via
+#                          --placement; same job CI runs)
 #
-# Usage: scripts/check.sh [--fast] [--bench-smoke] [--chaos] [--fuzz]
+# Usage: scripts/check.sh [--fast] [--bench-smoke] [--chaos] [--fuzz] [--placement]
 #   --fast         skip the test suite (invariant grep + lint only)
 #   --bench-smoke  also run the deterministic bench subset and gate it
 #                  against BENCH_baseline.json (same job CI runs)
 #   --chaos        also run scripts/chaos.py (fault injection + recovery)
 #   --fuzz         also run scripts/fuzz.py (conformance + differential +
 #                  deterministic byte fuzzing, 30s budget)
+#   --placement    also run scripts/placement.py (auto-placement vs
+#                  always-producer + relay CRC-chain byte-exactness)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,12 +35,14 @@ fast=0
 bench_smoke=0
 chaos=0
 fuzz=0
+placement=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --bench-smoke) bench_smoke=1 ;;
         --chaos) chaos=1 ;;
         --fuzz) fuzz=1 ;;
+        --placement) placement=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -48,13 +56,15 @@ done
 # transport may read time.monotonic: actual network transfers are outside
 # the modeled-cost domain.  The event fabric gets exactly ONE sanctioned
 # loop-time site (_loop_now in fabric/broker.py, threads-mode flush/close
-# deadlines) — enforced as an exact count below so a second read cannot
-# sneak in behind the exclusion.
-echo "== invariant: clock reads only in core/engine.py, netsim/, middleware/tcp.py, fabric/broker.py"
+# deadlines), and the placement relay likewise exactly ONE liveness stamp
+# (_relay_now in middleware/relay.py) — both enforced as exact counts
+# below so a second read cannot sneak in behind the exclusions.
+echo "== invariant: clock reads only in core/engine.py, netsim/, middleware/tcp.py, middleware/relay.py, fabric/broker.py"
 stray=$(grep -rnE "time\.(perf_counter|monotonic|time)\(" src/repro --include="*.py" \
     | grep -v "src/repro/core/engine.py" \
     | grep -v "src/repro/netsim/" \
     | grep -v "src/repro/middleware/tcp.py" \
+    | grep -v "src/repro/middleware/relay.py" \
     | grep -v "src/repro/fabric/broker.py" || true)
 if [ -n "$stray" ]; then
     echo "FAIL: clock read outside the sanctioned timing sites:" >&2
@@ -65,6 +75,12 @@ broker_reads=$(grep -cE "time\.(perf_counter|monotonic|time)\(" src/repro/fabric
 if [ "$broker_reads" != "1" ]; then
     echo "FAIL: fabric/broker.py must contain exactly one clock read (_loop_now); found $broker_reads" >&2
     grep -nE "time\.(perf_counter|monotonic|time)\(" src/repro/fabric/broker.py >&2 || true
+    exit 1
+fi
+relay_reads=$(grep -cE "time\.(perf_counter|monotonic|time)\(" src/repro/middleware/relay.py || true)
+if [ "$relay_reads" != "1" ]; then
+    echo "FAIL: middleware/relay.py must contain exactly one clock read (_relay_now); found $relay_reads" >&2
+    grep -nE "time\.(perf_counter|monotonic|time)\(" src/repro/middleware/relay.py >&2 || true
     exit 1
 fi
 echo "ok"
@@ -153,4 +169,10 @@ fi
 if [ "$fuzz" -eq 1 ]; then
     echo "== fuzz gate (conformance + differential + seeded byte fuzzing)"
     python scripts/fuzz.py --budget 30s --artifact fuzz_crashes.jsonl
+fi
+
+# --- Placement gate -------------------------------------------------------------
+if [ "$placement" -eq 1 ]; then
+    echo "== placement gate (auto vs always-producer, relay byte-exactness)"
+    python scripts/placement.py --trace placement_breakdown.jsonl
 fi

@@ -1,0 +1,336 @@
+#!/usr/bin/env python
+"""Placement gate: break-even scheduling beats always-producer, byte-exactly.
+
+Two legs, both deterministic:
+
+* **Breakdown leg** — :func:`repro.experiments.placement.placement_breakdown`
+  runs the DTSchedule-style time-breakdown matrix (compress / wire /
+  relay / decompress) across the paper's four link classes.  Per link
+  class the gate asserts:
+
+  - **auto never loses** — the break-even ``auto`` arrangement's modeled
+    end-to-end makespan and serial phase sum are no worse than
+    always-``producer`` (tiny relative tolerance: on slow links the two
+    arrangements tie to the last ulp);
+  - **offload signature** — the ``consumer`` bar has *zero* producer-side
+    compression (the empty bar that is the whole point of offloading);
+  - **byte-exactness** — the ``consumer`` downstream CRC chain equals the
+    ``producer`` one: relay-side compression produced the identical wire
+    bytes;
+  - **determinism** — a second identical run reproduces every cell.
+
+* **Relay leg** — commercial blocks are shipped raw (consumer placement)
+  through the hostile middleware wire (:class:`ChaosWire` +
+  :class:`ReliableEventLink` under a seeded :class:`FaultPlan`) into a
+  :class:`~repro.middleware.relay.CompressionRelay`.  The gate asserts the
+  relay's forwarded CRC chain equals :func:`chain_crc` over producer-side
+  compression of the same block sequence (byte-exact through faults), that
+  a :class:`DecompressionHandler` recovers every original block, and that
+  a second identical run is identical.
+
+Every cell lands in a JSON-lines time-breakdown trace (CI uploads it as
+the ``placement_breakdown.jsonl`` artifact).
+
+Usage::
+
+    python scripts/placement.py                            # run both legs
+    python scripts/placement.py --trace placement.jsonl    # name the trace
+
+Exit status 0 means every assertion held; 1 lists each failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import CodecExecutor  # noqa: E402
+from repro.data.commercial import CommercialDataGenerator  # noqa: E402
+from repro.experiments.placement import (  # noqa: E402
+    DEFAULT_INTERFERENCE,
+    LINK_CLASSES,
+    placement_breakdown,
+)
+from repro.middleware.chaos import ChaosWire, ReliableEventLink  # noqa: E402
+from repro.middleware.events import Event  # noqa: E402
+from repro.middleware.handlers import DecompressionHandler  # noqa: E402
+from repro.middleware.relay import (  # noqa: E402
+    ATTR_PLACEMENT,
+    ATTR_RELAY_METHOD,
+    CompressionRelay,
+    chain_crc,
+)
+from repro.netsim.clock import VirtualClock  # noqa: E402
+from repro.netsim.cpu import DEFAULT_COSTS, SUN_FIRE  # noqa: E402
+from repro.netsim.faults import FaultPlan, FaultRule, RetryPolicy  # noqa: E402
+from repro.netsim.link import PAPER_LINKS, SimulatedLink  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.trace import TraceWriter  # noqa: E402
+
+#: Breakdown-leg scale: big enough that every placement regime appears
+#: (raw wins the intranet links, consumer offload wins the slow ones).
+BLOCKS = 12
+BLOCK_SIZE = 128 * 1024
+
+#: Relative slack for makespan comparisons — float-summation noise only.
+RTOL = 1e-9
+
+#: Relay-leg traffic and fault schedule (seeded, so fully reproducible).
+RELAY_BLOCKS = 24
+RELAY_BLOCK_SIZE = 8 * 1024
+RELAY_METHOD_CYCLE = ("lempel-ziv", "burrows-wheeler", "huffman")
+RELAY_FAULT_SEED = 31
+RETRY = dict(max_attempts=8, base_delay=0.01, multiplier=2.0, max_delay=0.2)
+
+
+def _cell_key(cell) -> Tuple:
+    """Everything that must reproduce between identical runs."""
+    return (
+        cell.link,
+        cell.mode,
+        cell.blocks,
+        cell.compress_seconds,
+        cell.upstream_seconds,
+        cell.relay_seconds,
+        cell.downstream_seconds,
+        cell.decompress_seconds,
+        cell.makespan,
+        cell.serial_seconds,
+        tuple(sorted(cell.placements.items())),
+        cell.downstream_crc32,
+    )
+
+
+def run_breakdown_leg(tracer: TraceWriter) -> List[str]:
+    """The DTSchedule matrix plus its per-link-class assertions."""
+    failures: List[str] = []
+    cells = placement_breakdown(
+        total_blocks=BLOCKS,
+        block_size=BLOCK_SIZE,
+        interference=DEFAULT_INTERFERENCE,
+    )
+    rerun = placement_breakdown(
+        total_blocks=BLOCKS,
+        block_size=BLOCK_SIZE,
+        interference=DEFAULT_INTERFERENCE,
+    )
+    if [_cell_key(c) for c in cells] != [_cell_key(c) for c in rerun]:
+        failures.append("breakdown matrix differs between identical runs")
+    by_key = {(c.link, c.mode): c for c in cells}
+    for cell in cells:
+        tracer.event(
+            "placement.breakdown",
+            link=cell.link,
+            mode=cell.mode,
+            blocks=cell.blocks,
+            compress_seconds=cell.compress_seconds,
+            upstream_seconds=cell.upstream_seconds,
+            relay_seconds=cell.relay_seconds,
+            downstream_seconds=cell.downstream_seconds,
+            decompress_seconds=cell.decompress_seconds,
+            makespan=cell.makespan,
+            serial_seconds=cell.serial_seconds,
+            placements=dict(sorted(cell.placements.items())),
+            downstream_crc32=cell.downstream_crc32,
+        )
+    for link in LINK_CLASSES:
+        producer = by_key[(link, "producer")]
+        consumer = by_key[(link, "consumer")]
+        auto = by_key[(link, "auto")]
+        ok = True
+        if auto.makespan > producer.makespan * (1.0 + RTOL):
+            ok = False
+            failures.append(
+                f"{link}: auto makespan {auto.makespan:.6f}s slower than "
+                f"always-producer {producer.makespan:.6f}s"
+            )
+        if auto.serial_seconds > producer.serial_seconds * (1.0 + RTOL):
+            ok = False
+            failures.append(
+                f"{link}: auto serial {auto.serial_seconds:.6f}s slower than "
+                f"always-producer {producer.serial_seconds:.6f}s"
+            )
+        if consumer.compress_seconds != 0.0:
+            ok = False
+            failures.append(
+                f"{link}: consumer arrangement spent "
+                f"{consumer.compress_seconds:.6f}s compressing at the producer"
+            )
+        if consumer.downstream_crc32 != producer.downstream_crc32:
+            ok = False
+            failures.append(
+                f"{link}: consumer downstream CRC {consumer.downstream_crc32:#010x}"
+                f" != producer {producer.downstream_crc32:#010x}"
+            )
+        print(
+            f"link={link:14s} producer={producer.makespan:7.3f}s "
+            f"auto={auto.makespan:7.3f}s "
+            f"auto_placements={dict(sorted(auto.placements.items()))!s:32s} "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+    return failures
+
+
+def relay_fault_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(kind="drop", probability=0.15),
+            FaultRule(kind="corrupt", probability=0.15),
+            FaultRule(kind="duplicate", probability=0.1),
+            FaultRule(kind="reorder", probability=0.1),
+            FaultRule(kind="delay", probability=0.1, delay=0.02),
+        ],
+        seed=seed,
+        name="relay-hostile",
+    )
+
+
+def consumer_events(blocks: List[bytes]) -> List[Event]:
+    """The placement-aware producer's output: raw blocks, relay-annotated."""
+    return [
+        Event(
+            payload=block,
+            attributes={
+                ATTR_PLACEMENT: "consumer",
+                ATTR_RELAY_METHOD: RELAY_METHOD_CYCLE[i % len(RELAY_METHOD_CYCLE)],
+            },
+            channel_id="placement",
+            sequence=i + 1,
+            timestamp=float(i),
+        )
+        for i, block in enumerate(blocks)
+    ]
+
+
+def run_relay_once(blocks: List[bytes], tracer: TraceWriter) -> Tuple:
+    """One hostile-wire run into the relay; returns the outcome tuple."""
+    clock = VirtualClock()
+    wire = ChaosWire(
+        relay_fault_plan(RELAY_FAULT_SEED),
+        link=SimulatedLink(PAPER_LINKS["100mbit"], seed=2),
+        clock=clock,
+    )
+    relay = CompressionRelay(cost_model=DEFAULT_COSTS, cpu=SUN_FIRE)
+    decompressor = DecompressionHandler()
+    recovered: List[bytes] = []
+    relay.subscribe(lambda event: recovered.append(decompressor(event).payload))
+    reliable = ReliableEventLink(
+        wire,
+        relay,
+        retry=RetryPolicy(seed=RELAY_FAULT_SEED, **RETRY),
+        registry=MetricsRegistry(),
+        tracer=tracer,
+    )
+    for event in consumer_events(blocks):
+        reliable.send(event)
+    missing = reliable.close()
+    return (
+        tuple(missing),
+        relay.crc_chain,
+        relay.events_forwarded,
+        relay.events_compressed,
+        relay.bytes_in,
+        relay.bytes_out,
+        round(relay.relay_seconds, 9),
+        reliable.retries,
+        reliable.frames_rejected,
+        tuple(recovered),
+    )
+
+
+def run_relay_leg(tracer: TraceWriter) -> List[str]:
+    """Byte-exact relay compression through a seeded hostile wire."""
+    failures: List[str] = []
+    blocks = list(
+        CommercialDataGenerator(seed=2004).stream(RELAY_BLOCK_SIZE, RELAY_BLOCKS)
+    )
+    # The chain the producer would have produced for the same sequence.
+    executor = CodecExecutor(
+        cost_model=DEFAULT_COSTS, cpu=SUN_FIRE, expansion_fallback=True
+    )
+    producer_payloads = [
+        executor.compress(
+            RELAY_METHOD_CYCLE[i % len(RELAY_METHOD_CYCLE)], block
+        ).payload
+        for i, block in enumerate(blocks)
+    ]
+    expected_chain = chain_crc(producer_payloads)
+
+    first = run_relay_once(blocks, tracer)
+    second = run_relay_once(blocks, tracer)
+    missing, chain, forwarded, compressed, bytes_in, bytes_out, relay_s, retries, rejected, recovered = first
+    if missing:
+        failures.append(f"relay leg: sequences never delivered: {list(missing)}")
+    if chain != expected_chain:
+        failures.append(
+            f"relay leg: relay CRC chain {chain:#010x} != producer-side "
+            f"chain {expected_chain:#010x}"
+        )
+    if forwarded != len(blocks) or compressed != len(blocks):
+        failures.append(
+            f"relay leg: forwarded {forwarded}/compressed {compressed}, "
+            f"want {len(blocks)} each"
+        )
+    if list(recovered) != blocks:
+        failures.append("relay leg: decompressed payloads differ from originals")
+    if bytes_out >= bytes_in:
+        failures.append(
+            f"relay leg: no bytes saved ({bytes_in} in, {bytes_out} out)"
+        )
+    if first != second:
+        failures.append("relay leg: outcome differs between identical runs")
+    tracer.event(
+        "placement.relay",
+        blocks=len(blocks),
+        crc_chain=chain,
+        expected_chain=expected_chain,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        relay_seconds=relay_s,
+        retries=retries,
+        frames_rejected=rejected,
+        ok=not failures,
+    )
+    print(
+        f"relay: {len(blocks)} blocks through hostile wire  "
+        f"chain={chain:#010x} (want {expected_chain:#010x})  "
+        f"saved={bytes_in - bytes_out} bytes  retries={retries} "
+        f"crc_rejected={rejected}  "
+        f"{'OK' if not failures else 'FAIL'}"
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace", metavar="PATH", default="placement_breakdown.jsonl",
+        help="JSON-lines time-breakdown trace "
+        "(default: placement_breakdown.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    with open(args.trace, "w", encoding="utf-8") as sink:
+        tracer = TraceWriter(sink)
+        failures.extend(run_breakdown_leg(tracer))
+        failures.extend(run_relay_leg(tracer))
+        tracer.event("placement.done", ok=not failures, failures=len(failures))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} placement assertion(s) broken")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: auto placement never loses; relay fan-out is byte-exact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,9 @@ def _replay_result(args: argparse.Namespace, observers=None, registry=None):
         fault_plan=plan,
         policy=args.policy,
         space_budget=args.space_budget,
+        placement=args.placement,
+        interference=args.interference,
+        downstream_factor=args.downstream_factor,
     )
     blocks = (
         commercial_blocks(config)
@@ -316,6 +319,110 @@ def cmd_fanout(args: argparse.Namespace) -> int:
     return 0 if result.crc_ok else 1
 
 
+#: Relative slack for placement makespan comparisons: on slow links the
+#: auto and producer arrangements tie to the last ulp, so the gate only
+#: tolerates float-summation noise, never a real regression.
+_PLACEMENT_RTOL = 1e-9
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    """Run the DTSchedule-style placement time-breakdown matrix."""
+    import json
+
+    from .experiments.placement import (
+        LINK_CLASSES,
+        PLACEMENT_MODES_ORDER,
+        placement_breakdown,
+    )
+
+    links = tuple(args.links) if args.links else LINK_CLASSES
+    cells = placement_breakdown(
+        total_blocks=args.blocks,
+        block_size=args.block_size,
+        links=links,
+        interference=args.interference,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        seed=args.seed,
+    )
+    by_key = {(c.link, c.mode): c for c in cells}
+    failures: List[str] = []
+    for link in links:
+        producer, auto = by_key[(link, "producer")], by_key[(link, "auto")]
+        consumer = by_key[(link, "consumer")]
+        if auto.makespan > producer.makespan * (1.0 + _PLACEMENT_RTOL):
+            failures.append(
+                f"{link}: auto makespan {auto.makespan:.6f}s exceeds "
+                f"always-producer {producer.makespan:.6f}s"
+            )
+        if auto.serial_seconds > producer.serial_seconds * (1.0 + _PLACEMENT_RTOL):
+            failures.append(
+                f"{link}: auto serial {auto.serial_seconds:.6f}s exceeds "
+                f"always-producer {producer.serial_seconds:.6f}s"
+            )
+        if consumer.downstream_crc32 != producer.downstream_crc32:
+            failures.append(
+                f"{link}: consumer downstream CRC {consumer.downstream_crc32:#010x} "
+                f"!= producer {producer.downstream_crc32:#010x}"
+            )
+    if args.json:
+        payload = {
+            "blocks": args.blocks,
+            "block_size": args.block_size,
+            "interference": args.interference,
+            "upstream": "1gbit",
+            "cells": [
+                {
+                    "link": c.link,
+                    "mode": c.mode,
+                    "compress_seconds": c.compress_seconds,
+                    "upstream_seconds": c.upstream_seconds,
+                    "relay_seconds": c.relay_seconds,
+                    "downstream_seconds": c.downstream_seconds,
+                    "decompress_seconds": c.decompress_seconds,
+                    "makespan": c.makespan,
+                    "serial_seconds": c.serial_seconds,
+                    "placements": c.placements,
+                    "downstream_crc32": c.downstream_crc32,
+                }
+                for c in cells
+            ],
+            "failures": failures,
+            "ok": not failures,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if not failures else 1
+    print(
+        f"placement breakdown: {args.blocks} blocks x {args.block_size} bytes, "
+        f"1gbit upstream, interference {args.interference:.2f}"
+    )
+    header = (
+        f"{'link':14s} {'mode':9s} {'compress':>9s} {'wire':>9s} "
+        f"{'relay':>9s} {'decomp':>9s} {'makespan':>9s} placements"
+    )
+    for link in links:
+        print()
+        print(header)
+        for mode in PLACEMENT_MODES_ORDER:
+            c = by_key[(link, mode)]
+            chosen = ",".join(f"{k}:{v}" for k, v in sorted(c.placements.items()))
+            print(
+                f"{c.link:14s} {c.mode:9s} {c.compress_seconds:9.3f} "
+                f"{c.wire_seconds:9.3f} {c.relay_seconds:9.3f} "
+                f"{c.decompress_seconds:9.3f} {c.makespan:9.3f} {chosen}"
+            )
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(
+        "ok: auto <= always-producer on every link class; "
+        "relay bytes CRC-identical to producer-side compression"
+    )
+    return 0
+
+
 def _parse_budget(text: str) -> float:
     """Parse a wall budget like ``30``, ``30s``, or ``2m`` into seconds."""
     text = text.strip().lower()
@@ -467,6 +574,28 @@ def build_parser() -> argparse.ArgumentParser:
             default=1.0,
             help="bicriteria only: modeled compressed/original ratio cap (default 1.0)",
         )
+        p.add_argument(
+            "--placement",
+            choices=["producer", "raw", "consumer", "auto"],
+            default="producer",
+            help="where compression runs: the paper's producer side "
+            "(default), ship raw, offload to a relay (consumer), or "
+            "break-even auto scheduling per block",
+        )
+        p.add_argument(
+            "--interference",
+            type=float,
+            default=0.0,
+            help="producer-side I/O-interference fraction for placement "
+            "pricing (DTSchedule measures ~0.15)",
+        )
+        p.add_argument(
+            "--downstream-factor",
+            type=float,
+            default=None,
+            help="relay topology for consumer/auto placement: downstream "
+            "hop as a multiple of the link's sending time",
+        )
         p.add_argument("--trace", metavar="PATH", help="write a JSON-lines block trace to PATH")
         p.add_argument(
             "--faults",
@@ -529,6 +658,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit the result as JSON")
     p.set_defaults(func=cmd_fanout)
+
+    p = sub.add_parser(
+        "placement",
+        help="run the placement time-breakdown matrix (compress/wire/relay/"
+        "decompress per link class and arrangement)",
+    )
+    p.add_argument("--blocks", type=int, default=16, help="blocks per cell")
+    p.add_argument("--block-size", type=int, default=128 * 1024, help="bytes per block")
+    p.add_argument(
+        "--interference",
+        type=float,
+        default=0.15,
+        help="producer-side I/O-interference fraction (DTSchedule ~0.15)",
+    )
+    p.add_argument("--workers", type=int, default=1, help="producer/relay pool width")
+    p.add_argument("--queue-depth", type=int, default=8, help="producer send-queue depth")
+    p.add_argument("--seed", type=int, default=2004, help="commercial stream seed")
+    p.add_argument(
+        "--links",
+        nargs="*",
+        default=None,
+        metavar="LINK",
+        help="link classes to sweep (default: the paper's four)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the matrix as JSON")
+    p.set_defaults(func=cmd_placement)
 
     p = sub.add_parser("figure", help="print a paper figure (1-7)")
     p.add_argument("number", type=int)

@@ -45,6 +45,14 @@ from .pipeline import (
     BlockRecord,
     StreamResult,
 )
+from .placement import (
+    PLACEMENT_MODES,
+    PLACEMENTS,
+    PlacementCost,
+    choose_placement,
+    evaluate_placements,
+    raw_breakeven_seconds,
+)
 from .policy import AdaptivePolicy, CompressionPolicy, FixedPolicy
 from .sampler import DEFAULT_SAMPLE_SIZE, LzSampler, SampleResult
 from .workers import (
@@ -52,8 +60,10 @@ from .workers import (
     POOL_MODES,
     PipelinedBlockEngine,
     PipelineSchedule,
+    RelaySchedule,
     WorkerPool,
     simulate_pipeline,
+    simulate_relay_pipeline,
 )
 
 __all__ = [
@@ -78,24 +88,32 @@ __all__ = [
     "LzSampler",
     "OperatingPoint",
     "METHOD_CODES",
+    "PLACEMENTS",
+    "PLACEMENT_MODES",
     "POOL_MODES",
     "PipelineSchedule",
     "PipelinedBlockEngine",
+    "PlacementCost",
     "Rating",
     "ReducingSpeedMonitor",
+    "RelaySchedule",
     "SampleResult",
     "StreamResult",
     "ThresholdCalibration",
     "WorkerPool",
     "build_frontier",
     "calibrate_thresholds",
+    "choose_placement",
     "codec_for",
     "cut_blocks",
     "default_candidates",
     "evaluate_candidates",
+    "evaluate_placements",
     "measure",
     "pareto_frontier",
+    "raw_breakeven_seconds",
     "select_method",
     "select_point",
     "simulate_pipeline",
+    "simulate_relay_pipeline",
 ]

@@ -167,7 +167,7 @@ class Decision:
     :class:`~repro.core.policy.AdaptivePolicy`'s ``staleness_horizon``)
     rather than compress on numbers it no longer trusts.
 
-    The last five fields exist for the bicriteria policy
+    The middle five fields exist for the bicriteria policy
     (:mod:`repro.core.bicriteria`): ``params`` carries the chosen
     codec's canonical constructor parameters (empty = registered
     defaults, which is all the table ever chooses), ``frontier_size``
@@ -175,6 +175,18 @@ class Decision:
     whether no frontier point fit the space budget, and the two modeled
     times let callers audit the optimizer's claimed advantage over the
     table on the *same* observed inputs.
+
+    The placement fields belong to :mod:`repro.core.placement`.
+    ``placement`` says where this block's compression runs:
+    ``"producer"`` (the paper's arrangement, and the default every
+    non-placement policy keeps), ``"raw"`` (nobody compresses — the wire
+    outran the codec), or ``"consumer"`` (the producer ships raw and a
+    relay compresses with ``relay_method``/``relay_params`` for its
+    slower downstream link; ``method`` is then ``"none"`` because the
+    *producer* executes nothing).  ``placement_seconds`` and
+    ``producer_seconds`` are the modeled end-to-end times of the chosen
+    and of the always-producer arrangement on the same inputs — the pair
+    the CI placement gate holds ≤.
     """
 
     method: str
@@ -187,10 +199,20 @@ class Decision:
     budget_violated: bool = False
     modeled_seconds: float = math.nan
     table_modeled_seconds: float = math.nan
+    placement: str = "producer"
+    relay_method: str = "none"
+    relay_params: Tuple[Tuple[str, object], ...] = field(default=())
+    placement_seconds: float = math.nan
+    producer_seconds: float = math.nan
 
     @property
     def compresses(self) -> bool:
         return self.method != "none"
+
+    @property
+    def offloaded(self) -> bool:
+        """Whether compression (if any) runs downstream of the producer."""
+        return self.placement == "consumer" and self.relay_method != "none"
 
 
 #: Ratio assumed for a block that has not been sampled yet (first block).

@@ -96,6 +96,12 @@ class BlockRecord:
     #: CRC-32 of the wire payload, so benches can assert byte identity
     #: against a direct run of the chosen codec without storing payloads.
     payload_crc32: int = 0
+    #: Where compression ran (:mod:`repro.core.placement`): ``producer``
+    #: for every non-placement policy; ``raw``/``consumer`` blocks left
+    #: the producer uncompressed (``method`` is then ``none``), and a
+    #: ``consumer`` block names the codec a downstream relay applies.
+    placement: str = "producer"
+    relay_method: str = "none"
 
     @property
     def ratio(self) -> float:
@@ -157,6 +163,12 @@ class StreamResult:
         counts: Dict[str, int] = {}
         for record in self.records:
             counts[record.method] = counts.get(record.method, 0) + 1
+        return counts
+
+    def placement_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.placement] = counts.get(record.placement, 0) + 1
         return counts
 
     # -- figure series ------------------------------------------------------------
@@ -390,6 +402,8 @@ class AdaptivePipeline:
                     connections=connections,
                     params=params,
                     payload_crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+                    placement=getattr(decision, "placement", "producer"),
+                    relay_method=getattr(decision, "relay_method", "none"),
                 )
             )
             sample = next_sample

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 from ..compression.registry import get_codec
 from ..obs.bicriteria import record_choice
+from ..obs.placement import record_placement, record_placement_degraded
 from .bicriteria import (
     CandidateSpec,
     default_candidates,
@@ -34,6 +35,7 @@ from .bicriteria import (
 )
 from .decision import Decision, DecisionInputs, DecisionThresholds, select_method
 from .monitor import ReducingSpeedMonitor
+from .placement import PLACEMENT_MODES, choose_placement, evaluate_placements
 from .sampler import SampleResult
 
 __all__ = [
@@ -119,6 +121,30 @@ class AdaptivePolicy:
       rather than mid-stream.  The thresholds themselves still reason
       in paper-method terms.
 
+    Placement knobs (:mod:`repro.core.placement`):
+
+    * ``placement`` — where compression runs.  ``"producer"`` (default)
+      is the paper's arrangement and leaves every decision untouched;
+      ``"raw"`` always ships uncompressed; ``"consumer"`` always
+      offloads to a downstream relay; ``"auto"`` prices all available
+      placements per block — from the same bicriteria candidate set both
+      dialects use — and takes the modeled-fastest one.
+    * ``interference`` — producer-side interference fraction: the
+      compression-time surcharge for competing with the producer's real
+      work (DTSchedule measures ~15 %; a relay compresses unloaded).
+    * ``downstream_factor`` — the relay's downstream hop modeled as a
+      multiple of the upstream raw send time (``None`` = no relay, so
+      the ``consumer`` placement does not exist).
+
+    Placement decisions degrade with the same staleness horizon: on a
+    dead feedback loop the scheduler stops trusting its break-even
+    numbers and falls back to the ``producer`` arrangement (counted in
+    ``repro_placement_degraded_total``).  The running totals
+    ``placement_modeled_seconds_total`` /
+    ``producer_placement_seconds_total`` compare the chosen placements
+    against always-producer on the same observed inputs — the pair the
+    CI placement gate holds ≤.
+
     Every bicriteria decision lands in the monitor's registry under the
     ``repro_bicriteria_*`` vocabulary, and the running totals
     ``modeled_seconds_total`` / ``table_modeled_seconds_total`` compare
@@ -137,6 +163,9 @@ class AdaptivePolicy:
         candidates: Optional[Sequence[CandidateSpec]] = None,
         native: Optional[bool] = None,
         method_map: Optional[Dict[str, str]] = None,
+        placement: str = "producer",
+        interference: float = 0.0,
+        downstream_factor: Optional[float] = None,
     ) -> None:
         if staleness_horizon is not None and staleness_horizon < 1:
             raise ValueError("staleness_horizon must be positive (or None)")
@@ -144,6 +173,19 @@ class AdaptivePolicy:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
         if space_budget <= 0:
             raise ValueError("space_budget must be positive")
+        if placement not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement {placement!r}; choose from {PLACEMENT_MODES}"
+            )
+        if interference < 0:
+            raise ValueError("interference must be non-negative")
+        if downstream_factor is not None and downstream_factor <= 0:
+            raise ValueError("downstream_factor must be positive (or None)")
+        if placement == "consumer" and downstream_factor is None:
+            raise ValueError(
+                "placement='consumer' needs a downstream_factor: without a "
+                "downstream hop there is nobody to offload to"
+            )
         if method_map:
             for target in method_map.values():
                 get_codec(target)  # validate eagerly; raises CodecError
@@ -156,6 +198,9 @@ class AdaptivePolicy:
         self.candidates = tuple(candidates) if candidates is not None else None
         self.native = native
         self.method_map = dict(method_map) if method_map else {}
+        self.placement = placement
+        self.interference = interference
+        self.downstream_factor = downstream_factor
         self.degraded_decisions = 0
         self.budget_violations = 0
         self.choices = 0
@@ -163,6 +208,12 @@ class AdaptivePolicy:
         #: of the table's counterpart choices on the same inputs.
         self.modeled_seconds_total = 0.0
         self.table_modeled_seconds_total = 0.0
+        #: Placement decisions by arrangement, and the accumulated modeled
+        #: seconds of the chosen vs. always-producer arrangements on the
+        #: same inputs (empty/zero under ``placement="producer"``).
+        self.placement_counts: Dict[str, int] = {}
+        self.placement_modeled_seconds_total = 0.0
+        self.producer_placement_seconds_total = 0.0
         self._last_observations: Optional[int] = None
         self._stale_decisions = 0
         self._grids: Dict[int, Tuple[CandidateSpec, ...]] = {}
@@ -244,6 +295,99 @@ class AdaptivePolicy:
             table_modeled_seconds=table_seconds,
         )
 
+    def _apply_placement(
+        self,
+        decision: Decision,
+        block_size: int,
+        sending_time: float,
+        monitor: ReducingSpeedMonitor,
+        sample: Optional[SampleResult],
+    ) -> Decision:
+        """Re-decide *where* the chosen compression runs (if anywhere).
+
+        Prices the placements from the same candidate set the codec
+        choice came from; when nothing compressing is priceable (no
+        calibration, no observations) the paper's producer arrangement
+        is kept untouched rather than scheduled on guesswork.
+        """
+        points = evaluate_candidates(
+            self._grid(block_size),
+            sending_time,
+            calibration=self.cost_model,
+            cpu=self.cpu,
+            monitor=monitor,
+            sample=sample,
+            base_block_size=block_size,
+        )
+        point = None
+        if decision.compresses:
+            point = points.get(
+                CandidateSpec(
+                    method=decision.method,
+                    params=decision.params,
+                    block_size=block_size,
+                )
+            )
+        if point is None:
+            compressing = [p for p in points.values() if p.method != "none"]
+            if compressing:
+                point = min(compressing, key=lambda p: (p.total_seconds, p.space))
+        downstream = (
+            sending_time * self.downstream_factor
+            if self.downstream_factor is not None
+            else None
+        )
+        costs = evaluate_placements(
+            point,
+            sending_time,
+            downstream_seconds=downstream,
+            interference=self.interference,
+        )
+        chosen = (
+            choose_placement(costs)
+            if self.placement == "auto"
+            else costs.get(self.placement)
+        )
+        if chosen is None:
+            return decision
+        producer_cost = costs.get("producer", costs["raw"])
+        self.placement_counts[chosen.placement] = (
+            self.placement_counts.get(chosen.placement, 0) + 1
+        )
+        self.placement_modeled_seconds_total += chosen.total_seconds
+        self.producer_placement_seconds_total += producer_cost.total_seconds
+        record_placement(
+            monitor.registry,
+            placement=chosen.placement,
+            method=chosen.method,
+            params=chosen.params,
+            modeled_seconds=chosen.total_seconds,
+            producer_seconds=producer_cost.total_seconds,
+        )
+        if chosen.placement == "producer":
+            return replace(
+                decision,
+                method=chosen.method,
+                params=chosen.params,
+                effective_ratio=chosen.ratio,
+                placement="producer",
+                placement_seconds=chosen.total_seconds,
+                producer_seconds=producer_cost.total_seconds,
+            )
+        relay_method = chosen.method if chosen.placement == "consumer" else "none"
+        relay_params = chosen.params if chosen.placement == "consumer" else ()
+        return replace(
+            decision,
+            method="none",
+            params=(),
+            effective_ratio=1.0,
+            placement=chosen.placement,
+            relay_method=relay_method,
+            relay_params=relay_params,
+            placement_seconds=chosen.total_seconds,
+            producer_seconds=producer_cost.total_seconds,
+        )
+
     def choose(
         self,
         block_size: int,
@@ -257,6 +401,11 @@ class AdaptivePolicy:
                 DEGRADED_COUNTER,
                 help="selector fell back to 'none' on stale monitor feedback",
             ).inc()
+            if self.placement != "producer":
+                # The break-even numbers are no more trustworthy than the
+                # thresholds: scheduling degrades to the paper's
+                # producer-side arrangement alongside the method fallback.
+                record_placement_degraded(monitor.registry)
             return Decision(
                 method="none",
                 lz_reduce_time=math.nan,
@@ -274,14 +423,21 @@ class AdaptivePolicy:
             sampled_ratio=sampled_ratio,
         )
         if self.policy == "bicriteria":
-            return self._choose_bicriteria(
+            decision = self._choose_bicriteria(
                 block_size, sending_time, monitor, sample, inputs
             )
-        decision = select_method(inputs, self.thresholds)
-        mapped = self.method_map.get(decision.method)
-        if mapped is not None and mapped != decision.method:
-            decision = replace(decision, method=mapped)
-        return decision
+        else:
+            decision = select_method(inputs, self.thresholds)
+            mapped = self.method_map.get(decision.method)
+            if mapped is not None and mapped != decision.method:
+                decision = replace(decision, method=mapped)
+        if self.placement == "producer":
+            # The default arrangement is the paper's: decisions leave
+            # exactly as the dialects made them, baseline CRCs never move.
+            return decision
+        return self._apply_placement(
+            decision, block_size, sending_time, monitor, sample
+        )
 
 
 class FixedPolicy:

@@ -59,8 +59,10 @@ __all__ = [
     "POOL_MODES",
     "PipelineSchedule",
     "PipelinedBlockEngine",
+    "RelaySchedule",
     "WorkerPool",
     "simulate_pipeline",
+    "simulate_relay_pipeline",
 ]
 
 POOL_MODES = ("processes", "threads", "serial")
@@ -373,5 +375,121 @@ def simulate_pipeline(
         compression_seconds=total_compression,
         send_seconds=total_send,
         workers=workers,
+        queue_depth=queue_depth,
+    )
+
+
+@dataclass(frozen=True)
+class RelaySchedule:
+    """Outcome of scheduling a block stream through a consumer-offload relay.
+
+    The five per-phase totals are the stacked bars of the DTSchedule-style
+    time-breakdown figure (:mod:`repro.experiments.placement`); the
+    makespan is what those phases cost end-to-end once compression of
+    later blocks overlaps earlier blocks' transfers and relay work.  Like
+    :class:`PipelineSchedule`, everything derives from modeled per-block
+    seconds, so the schedule is identical on every machine.
+    """
+
+    makespan: float
+    serial_seconds: float
+    compress_seconds: float
+    upstream_seconds: float
+    relay_seconds: float
+    downstream_seconds: float
+    decompress_seconds: float
+    workers: int
+    relay_workers: int
+    queue_depth: int
+
+    @property
+    def speedup(self) -> float:
+        """Serial (phase-sum) time over the pipelined makespan."""
+        if self.makespan <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.makespan
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of serial time hidden by overlap across the stages."""
+        if self.serial_seconds <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.makespan / self.serial_seconds)
+
+    @property
+    def wire_seconds(self) -> float:
+        """Total transfer time across both hops (the figure's wire bar)."""
+        return self.upstream_seconds + self.downstream_seconds
+
+
+def simulate_relay_pipeline(
+    compress_seconds: Sequence[float],
+    upstream_seconds: Sequence[float],
+    relay_seconds: Sequence[float],
+    downstream_seconds: Sequence[float],
+    decompress_seconds: Optional[Sequence[float]] = None,
+    workers: int = 1,
+    relay_workers: int = 1,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+) -> RelaySchedule:
+    """Schedule blocks through producer → upstream wire → relay → downstream wire.
+
+    The five stages generalize :func:`simulate_pipeline` to the relay
+    topology of :mod:`repro.core.placement`: block ``i`` compresses once
+    a producer worker is free and block ``i - queue_depth`` has left the
+    downstream wire (the bounded in-flight queue now spans the whole
+    path); each wire is a single in-order server; the relay compresses
+    on its own ``relay_workers`` pool but forwards in block order; the
+    subscriber decompresses in arrival order.  Placements feed zeros
+    into the stages they skip — a ``raw`` stream has all-zero codec
+    stages and the model degenerates to two chained wires; with zero
+    relay and downstream stages it reproduces :func:`simulate_pipeline`
+    exactly.
+    """
+    series = [compress_seconds, upstream_seconds, relay_seconds, downstream_seconds]
+    if decompress_seconds is None:
+        decompress_seconds = [0.0] * len(compress_seconds)
+    series.append(decompress_seconds)
+    lengths = {len(s) for s in series}
+    if len(lengths) > 1:
+        raise ValueError("all five phase series must have equal length")
+    if workers < 1 or relay_workers < 1:
+        raise ValueError("workers and relay_workers must be positive")
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be positive")
+    producer_free = [0.0] * workers
+    heapq.heapify(producer_free)
+    relay_free = [0.0] * relay_workers
+    heapq.heapify(relay_free)
+    up_free = down_free = decompress_free = 0.0
+    relay_order = 0.0  # the relay forwards strictly in block order
+    delivered: List[float] = []
+    for index in range(len(compress_seconds)):
+        gate = delivered[index - queue_depth] if index >= queue_depth else 0.0
+        start = max(heapq.heappop(producer_free), gate)
+        compressed_at = start + compress_seconds[index]
+        heapq.heappush(producer_free, compressed_at)
+        up_start = max(compressed_at, up_free)
+        up_free = up_start + upstream_seconds[index]
+        relay_start = max(up_free, heapq.heappop(relay_free))
+        relay_done = relay_start + relay_seconds[index]
+        heapq.heappush(relay_free, relay_done)
+        relay_order = max(relay_order, relay_done)
+        down_start = max(relay_order, down_free)
+        down_free = down_start + downstream_seconds[index]
+        done = max(down_free, decompress_free) + decompress_seconds[index]
+        decompress_free = done
+        delivered.append(done)
+    totals = [float(sum(s)) for s in series]
+    return RelaySchedule(
+        makespan=delivered[-1] if delivered else 0.0,
+        serial_seconds=sum(totals),
+        compress_seconds=totals[0],
+        upstream_seconds=totals[1],
+        relay_seconds=totals[2],
+        downstream_seconds=totals[3],
+        decompress_seconds=totals[4],
+        workers=workers,
+        relay_workers=relay_workers,
         queue_depth=queue_depth,
     )

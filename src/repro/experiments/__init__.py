@@ -31,6 +31,13 @@ from .micro import (
     format_table,
 )
 from .multilink import MultilinkCell, multilink_matrix
+from .placement import (
+    DEFAULT_INTERFERENCE,
+    LINK_CLASSES,
+    UPSTREAM_LINK,
+    PlacementBreakdown,
+    placement_breakdown,
+)
 from .report import generate_report
 from .replay import (
     build_trace,
@@ -45,10 +52,12 @@ from .replay import (
 __all__ = [
     "AblationPoint",
     "BLOCK_SIZE",
+    "DEFAULT_INTERFERENCE",
     "FIG11_CONFIG",
     "FIG8_CONFIG",
     "HEADLINE_CONFIG",
     "HeadlineRow",
+    "LINK_CLASSES",
     "LinkMeasurement",
     "MBONE_SCALE",
     "METHOD_ORDER",
@@ -56,9 +65,11 @@ __all__ = [
     "MultilinkCell",
     "PAPER_FIG5",
     "PAPER_HEADLINE",
+    "PlacementBreakdown",
     "ReplayConfig",
     "SAMPLE_SIZE",
     "TRACE_DURATION",
+    "UPSTREAM_LINK",
     "build_trace",
     "commercial_blocks",
     "commercial_sample",
@@ -76,6 +87,7 @@ __all__ = [
     "headline_comparison",
     "molecular_blocks",
     "multilink_matrix",
+    "placement_breakdown",
     "run_replay",
     "sweep_block_size",
     "sweep_sample_size",

@@ -37,6 +37,18 @@ class ReplayConfig:
     policy: str = "table"
     #: Bicriteria only: modeled compressed/original ratio cap.
     space_budget: float = 1.0
+    #: Where compression runs (:mod:`repro.core.placement`):
+    #: "producer" (default — the paper's arrangement, decisions and
+    #: baseline CRCs untouched), "raw", "consumer" (needs a relay
+    #: topology), or "auto" (per-block break-even scheduling).
+    placement: str = "producer"
+    #: Producer-side I/O-interference fraction for placement pricing.
+    interference: float = 0.0
+    #: Relay topology for "consumer"/"auto" placement: the downstream
+    #: hop modeled as this multiple of the replay link's sending time
+    #: (None = no relay, so "consumer" is unpriceable and "auto" never
+    #: chooses it).
+    downstream_factor: Optional[float] = None
     #: Seconds between successive blocks becoming available (0 = bulk).
     production_interval: float = 1.25
     #: Per-connection bandwidth erosion (calibrated, see DESIGN.md §3).

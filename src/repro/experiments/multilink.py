@@ -10,12 +10,17 @@ evident, especially ... networks offering from 100MB to 1GB connectivity."
 :func:`multilink_matrix` transfers the same commercial dataset across
 every link class under low and high load, adaptive vs. uncompressed, and
 reports the speedup factor per cell — the quantitative version of that
-paragraph.
+paragraph.  Each cell also carries a placement-aware run
+(``AdaptivePolicy(placement="auto")`` over the same blocks): on the fast
+intranet links the break-even model ships raw outright instead of asking
+the decision table per block, the placement-scheduling reading of "the
+utility of compression is less evident" (see
+:mod:`repro.core.placement`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import AdaptivePipeline
@@ -24,6 +29,7 @@ from ..data.commercial import CommercialDataGenerator
 from ..netsim.cpu import DEFAULT_COSTS, SUN_FIRE
 from ..netsim.link import EXTRA_LINKS, PAPER_LINKS, SimulatedLink
 from ..netsim.loadtrace import LoadTrace
+from .placement import DEFAULT_INTERFERENCE
 
 __all__ = ["MultilinkCell", "multilink_matrix", "DEFAULT_LINK_ORDER"]
 
@@ -43,12 +49,23 @@ class MultilinkCell:
     adaptive_seconds: float
     uncompressed_seconds: float
     adaptive_methods: Dict[str, int]
+    #: Same stream under the placement-aware selector
+    #: (``placement="auto"``): end-to-end seconds and the arrangements
+    #: it chose per block.
+    auto_seconds: float = 0.0
+    auto_placements: Dict[str, int] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
         if self.adaptive_seconds <= 0:
             return float("inf")
         return self.uncompressed_seconds / self.adaptive_seconds
+
+    @property
+    def speedup_auto(self) -> float:
+        if self.auto_seconds <= 0:
+            return float("inf")
+        return self.uncompressed_seconds / self.auto_seconds
 
 
 def _run(
@@ -57,13 +74,13 @@ def _run(
     connections: float,
     policy: Optional[CompressionPolicy],
     pipelined: bool,
-) -> Tuple[float, Dict[str, int]]:
+) -> Tuple[float, Dict[str, int], Dict[str, int]]:
     spec = PAPER_LINKS.get(link_name) or EXTRA_LINKS[link_name]
     link = SimulatedLink(spec, seed=5, congestion_per_connection=0.4)
     load = LoadTrace.from_pairs([(0.0, connections)]) if connections else None
     pipeline = AdaptivePipeline(policy=policy, cost_model=DEFAULT_COSTS, cpu=SUN_FIRE)
     result = pipeline.run(list(blocks), link, load=load, pipelined=pipelined)
-    return result.total_time, result.method_counts()
+    return result.total_time, result.method_counts(), result.placement_counts()
 
 
 def multilink_matrix(
@@ -82,11 +99,23 @@ def multilink_matrix(
             ("low-load", LOW_LOAD_CONNECTIONS),
             ("high-load", HIGH_LOAD_CONNECTIONS),
         ):
-            adaptive_seconds, methods = _run(
+            adaptive_seconds, methods, _ = _run(
                 blocks, link_name, connections, AdaptivePolicy(), pipelined
             )
-            plain_seconds, _ = _run(
+            plain_seconds, _, _ = _run(
                 blocks, link_name, connections, FixedPolicy("none"), pipelined
+            )
+            auto_seconds, _, auto_placements = _run(
+                blocks,
+                link_name,
+                connections,
+                AdaptivePolicy(
+                    placement="auto",
+                    cost_model=DEFAULT_COSTS,
+                    cpu=SUN_FIRE,
+                    interference=DEFAULT_INTERFERENCE,
+                ),
+                pipelined,
             )
             cells.append(
                 MultilinkCell(
@@ -95,6 +124,8 @@ def multilink_matrix(
                     adaptive_seconds=adaptive_seconds,
                     uncompressed_seconds=plain_seconds,
                     adaptive_methods=methods,
+                    auto_seconds=auto_seconds,
+                    auto_placements=auto_placements,
                 )
             )
     return cells

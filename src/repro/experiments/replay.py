@@ -71,15 +71,29 @@ def make_policy(config: ReplayConfig, cpu: Optional[CpuModel] = None) -> Compres
     arms the Pareto optimizer with the same modeled-cost substrate the
     replay pipeline itself uses (``DEFAULT_COSTS`` on ``SUN_FIRE``), so
     its frontier prices blocks exactly as the replay will account them.
+    A non-default ``config.placement`` arms the break-even placement
+    scheduler on either dialect; it needs the cost substrate too, so the
+    table dialect gains it exactly when placement scheduling asks for it
+    (the default-config table policy stays untouched).
     """
+    placement_kwargs = {}
+    if config.placement != "producer":
+        placement_kwargs = dict(
+            placement=config.placement,
+            interference=config.interference,
+            downstream_factor=config.downstream_factor,
+            cost_model=DEFAULT_COSTS,
+            cpu=cpu if cpu is not None else SUN_FIRE,
+        )
     if config.policy == "table":
-        return AdaptivePolicy()
+        return AdaptivePolicy(**placement_kwargs)
     if config.policy == "bicriteria":
         return AdaptivePolicy(
             policy="bicriteria",
             space_budget=config.space_budget,
             cost_model=DEFAULT_COSTS,
             cpu=cpu if cpu is not None else SUN_FIRE,
+            **{k: v for k, v in placement_kwargs.items() if k not in ("cost_model", "cpu")},
         )
     raise ValueError(
         f"unknown policy {config.policy!r}; choose from ('table', 'bicriteria')"

@@ -28,6 +28,13 @@ from .handlers import (
 )
 from .monitoring import ChannelMonitor, ChannelQuality
 from .reassembly import OrderedReassembly, ReorderingBridge
+from .relay import (
+    ATTR_PLACEMENT,
+    ATTR_RELAY_METHOD,
+    ATTR_RELAY_PARAMS,
+    CompressionRelay,
+    chain_crc,
+)
 from .tcp import ChannelServer, RemoteChannel
 from .transport import (
     ATTR_TRANSPORT_RETRANSMISSIONS,
@@ -48,6 +55,9 @@ __all__ = [
     "ATTR_LZ_REDUCING_SPEED",
     "ATTR_ORIGINAL_SIZE",
     "ATTR_SAMPLED_RATIO",
+    "ATTR_PLACEMENT",
+    "ATTR_RELAY_METHOD",
+    "ATTR_RELAY_PARAMS",
     "ATTR_TRANSPORT_RETRANSMISSIONS",
     "ATTR_TRANSPORT_SECONDS",
     "ATTR_WIRE_SIZE",
@@ -58,6 +68,7 @@ __all__ = [
     "ChannelQuality",
     "ChaosWire",
     "CompressionHandler",
+    "CompressionRelay",
     "DecompressionHandler",
     "DeliveryError",
     "DeliveryRecord",
@@ -81,4 +92,5 @@ __all__ = [
     "ATTR_COMPRESSION_PARAMETERS",
     "TransportStats",
     "WireFormat",
+    "chain_crc",
 ]

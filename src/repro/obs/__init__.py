@@ -58,6 +58,17 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .placement import (
+    PLACEMENT_CHOICES_TOTAL,
+    PLACEMENT_DEGRADED_TOTAL,
+    PLACEMENT_PRODUCER_SECONDS_GAUGE,
+    PLACEMENT_SECONDS_GAUGE,
+    RELAY_BYTES_SAVED_TOTAL,
+    RELAY_EVENTS_TOTAL,
+    record_placement,
+    record_placement_degraded,
+    record_relay_event,
+)
 from .trace import TraceWriter, read_trace
 
 __all__ = [
@@ -76,6 +87,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PLACEMENT_CHOICES_TOTAL",
+    "PLACEMENT_DEGRADED_TOTAL",
+    "PLACEMENT_PRODUCER_SECONDS_GAUGE",
+    "PLACEMENT_SECONDS_GAUGE",
+    "RELAY_BYTES_SAVED_TOTAL",
+    "RELAY_EVENTS_TOTAL",
     "Regression",
     "TraceWriter",
     "compare_reports",
@@ -90,6 +107,9 @@ __all__ = [
     "record_choice",
     "record_execution",
     "record_fabric_delivery",
+    "record_placement",
+    "record_placement_degraded",
+    "record_relay_event",
     "record_shard_queue_depth",
     "set_registry",
 ]

@@ -1,0 +1,96 @@
+"""Placement-scheduler metric vocabulary: the ``repro_placement_*`` names.
+
+The placement-aware selector (:mod:`repro.core.placement` armed through
+``AdaptivePolicy(placement=...)``) and the consumer-offload relay
+(:mod:`repro.middleware.relay`) self-report into the monitor's
+:class:`~repro.obs.metrics.MetricsRegistry` under this fixed vocabulary,
+mirroring the ``repro_bicriteria_*`` discipline: ``repro stats`` and the
+CI placement gate read the same numbers the scheduler acted on.
+
+Label discipline (bounded cardinality): placements come from the fixed
+:data:`~repro.core.placement.PLACEMENTS` tuple and codecs are labeled by
+``method`` plus the canonical params label from
+:func:`repro.compression.base.params_label`.
+"""
+
+from __future__ import annotations
+
+from ..compression.base import params_label
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "PLACEMENT_CHOICES_TOTAL",
+    "PLACEMENT_SECONDS_GAUGE",
+    "PLACEMENT_PRODUCER_SECONDS_GAUGE",
+    "PLACEMENT_DEGRADED_TOTAL",
+    "RELAY_EVENTS_TOTAL",
+    "RELAY_BYTES_SAVED_TOTAL",
+    "record_placement",
+    "record_placement_degraded",
+    "record_relay_event",
+]
+
+#: Placement decisions taken, labeled by placement and chosen codec.
+PLACEMENT_CHOICES_TOTAL = "repro_placement_choices_total"
+#: Modeled end-to-end seconds of the most recent chosen placement.
+PLACEMENT_SECONDS_GAUGE = "repro_placement_modeled_seconds"
+#: Modeled seconds the always-producer arrangement would have taken on
+#: the same inputs — the counterpart the CI gate holds the choice ≤.
+PLACEMENT_PRODUCER_SECONDS_GAUGE = "repro_placement_producer_modeled_seconds"
+#: Placement decisions degraded to ``producer`` on stale feedback.
+PLACEMENT_DEGRADED_TOTAL = "repro_placement_degraded_total"
+#: Blocks re-compressed by a consumer-offload relay.
+RELAY_EVENTS_TOTAL = "repro_placement_relay_events_total"
+#: Payload bytes removed by relay-side compression.
+RELAY_BYTES_SAVED_TOTAL = "repro_placement_relay_bytes_saved_total"
+
+
+def record_placement(
+    registry: MetricsRegistry,
+    placement: str,
+    method: str,
+    params: object,
+    modeled_seconds: float,
+    producer_seconds: float,
+) -> None:
+    """Fold one placement decision into ``registry``."""
+    label = params_label(params)
+    registry.counter(
+        PLACEMENT_CHOICES_TOTAL,
+        help="placement decisions by (placement, method, params)",
+    ).inc(placement=placement, method=method, params=label)
+    registry.gauge(
+        PLACEMENT_SECONDS_GAUGE,
+        help="modeled end-to-end seconds of the latest chosen placement",
+    ).set(modeled_seconds, placement=placement)
+    registry.gauge(
+        PLACEMENT_PRODUCER_SECONDS_GAUGE,
+        help="modeled always-producer seconds on the same inputs",
+    ).set(producer_seconds)
+
+
+def record_placement_degraded(registry: MetricsRegistry) -> None:
+    """Count one stale-feedback degradation to the producer placement."""
+    registry.counter(
+        PLACEMENT_DEGRADED_TOTAL,
+        help="placement decisions degraded to producer on stale feedback",
+    ).inc()
+
+
+def record_relay_event(
+    registry: MetricsRegistry,
+    method: str,
+    params: object,
+    bytes_in: int,
+    bytes_out: int,
+) -> None:
+    """Fold one relay re-compression into ``registry``."""
+    label = params_label(params)
+    registry.counter(
+        RELAY_EVENTS_TOTAL,
+        help="blocks re-compressed by the consumer-offload relay",
+    ).inc(method=method, params=label)
+    registry.counter(
+        RELAY_BYTES_SAVED_TOTAL,
+        help="payload bytes removed by relay-side compression",
+    ).inc(max(0, bytes_in - bytes_out), method=method)

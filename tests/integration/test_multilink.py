@@ -53,6 +53,20 @@ class TestMultilinkClaims:
         assert fast.get("burrows-wheeler", 0) == 0
         assert slow.get("burrows-wheeler", 0) > 5
 
+    def test_auto_placement_rides_every_cell(self, matrix):
+        """Each cell carries the placement-aware run: on the unloaded
+        gigabit intranet the break-even model ships raw outright, and it
+        never loses to uncompressed transfer anywhere."""
+        for cell in matrix:
+            assert sum(cell.auto_placements.values()) == 12
+            assert cell.auto_seconds > 0
+            assert cell.speedup_auto == pytest.approx(
+                cell.uncompressed_seconds / cell.auto_seconds
+            )
+        fast = self._cell(matrix, "1gbit", "low-load")
+        assert fast.auto_placements.get("raw", 0) == 12
+        assert fast.auto_seconds <= fast.uncompressed_seconds * (1 + 1e-9)
+
 
 class TestCpuLoadAdaptation:
     def test_busy_cpu_deescalates_method(self):

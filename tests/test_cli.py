@@ -285,3 +285,40 @@ class TestFuzzCommand:
         [entry] = fuzz_module.load_corpus(str(out_path))
         assert entry.error_type == "IndexError"
         assert "CRASH" in capsys.readouterr().out
+
+
+class TestPlacementCommand:
+    def test_json_reproduces_the_breakdown(self, capsys):
+        import json
+
+        assert main(
+            ["placement", "--blocks", "4", "--links", "1gbit", "1mbit", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["failures"] == []
+        # 2 links x 4 modes (producer/raw/consumer/auto).
+        assert len(payload["cells"]) == 8
+        by_key = {(c["link"], c["mode"]): c for c in payload["cells"]}
+        for link in ("1gbit", "1mbit"):
+            producer = by_key[(link, "producer")]
+            consumer = by_key[(link, "consumer")]
+            auto = by_key[(link, "auto")]
+            assert auto["makespan"] <= producer["makespan"] * (1 + 1e-9)
+            assert consumer["compress_seconds"] == 0.0
+            assert consumer["downstream_crc32"] == producer["downstream_crc32"]
+
+    def test_human_table(self, capsys):
+        assert main(["placement", "--blocks", "3", "--links", "1gbit"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "ok: auto <= always-producer" in out
+
+    def test_replay_accepts_placement_flags(self, capsys):
+        assert main(
+            [
+                "replay", "--blocks", "4", "--placement", "auto",
+                "--interference", "0.15", "--link", "1gbit",
+            ]
+        ) == 0
+        assert "blocks" in capsys.readouterr().out
