@@ -118,6 +118,14 @@ RAW_CODECS = ("huffman", "lempel-ziv", "burrows-wheeler", "lzw")
 PLACEMENT_BLOCKS = 8
 PLACEMENT_BLOCK_SIZE = 128 * 1024
 
+#: Structured-codec gate geometry: one engine-sized block of each
+#: structured workload, the generic field the template codec must beat,
+#: and the minimum ratio win that makes the codec family worth carrying.
+STRUCTURED_BLOCK_SIZE = 64 * 1024
+STRUCTURED_SEED = 2004
+STRUCTURED_RIVALS = ("huffman", "arithmetic", "lempel-ziv", "lzw", "burrows-wheeler")
+STRUCTURED_MIN_WIN = 1.3
+
 #: Metrics the raw-path work is never allowed to regress, one-sided.
 #: The placement entry ratchets the fast-LAN auto arrangement: modeled
 #: end-to-end seconds on 1gbit may improve but never regress.
@@ -725,6 +733,86 @@ def placement_breakeven(report: BenchReport) -> None:
         )
 
 
+def structured_ratio(report: BenchReport) -> None:
+    """Structured-codec gate: structure must beat statistics, byte-stably.
+
+    On the seeded templated-log block the ``template`` codec must engage
+    (no fallback) and beat the *best* generic codec's ratio by at least
+    :data:`STRUCTURED_MIN_WIN`; on the seeded telemetry block ``columnar``
+    must engage and beat zlib level-6.  Both are hard gates (an
+    AssertionError aborts the run).  The wire CRCs are pinned exactly —
+    the structured formats are self-describing, so any byte drift is a
+    wire-format change and must arrive with a version bump and a
+    deliberate baseline refresh.
+    """
+    from repro.data.logs import LogDataGenerator
+    from repro.data.timeseries import TimeSeriesGenerator
+
+    log_block = next(iter(
+        LogDataGenerator(seed=STRUCTURED_SEED).stream(STRUCTURED_BLOCK_SIZE, 1)
+    ))
+    template = get_codec("template")
+    template_wire = template.compress(log_block)
+    if template.is_fallback(template_wire):
+        raise AssertionError("template codec fell back on its own seeded corpus")
+    template_ratio = len(template_wire) / len(log_block)
+    generic = {
+        name: len(get_codec(name).compress(log_block)) / len(log_block)
+        for name in STRUCTURED_RIVALS
+    }
+    best_name = min(generic, key=generic.get)
+    win = generic[best_name] / template_ratio
+    if win < STRUCTURED_MIN_WIN:
+        raise AssertionError(
+            f"template ratio {template_ratio:.4f} only {win:.2f}x better than "
+            f"{best_name} {generic[best_name]:.4f} (< {STRUCTURED_MIN_WIN}x gate)"
+        )
+
+    record_block = next(iter(
+        TimeSeriesGenerator(seed=STRUCTURED_SEED).stream(STRUCTURED_BLOCK_SIZE, 1)
+    ))
+    columnar = get_codec("columnar")
+    columnar_wire = columnar.compress(record_block)
+    if columnar.is_fallback(columnar_wire):
+        raise AssertionError("columnar codec fell back on its own seeded corpus")
+    columnar_ratio = len(columnar_wire) / len(record_block)
+    zlib6_ratio = len(zlib.compress(record_block, 6)) / len(record_block)
+    if columnar_ratio >= zlib6_ratio:
+        raise AssertionError(
+            f"columnar ratio {columnar_ratio:.4f} not below "
+            f"zlib level-6 {zlib6_ratio:.4f} on the telemetry corpus"
+        )
+
+    report.record(
+        "structured.template_ratio", template_ratio, unit="ratio",
+        better="lower", tolerance=0.0,
+    )
+    report.record(
+        "structured.template_win", win, unit="x",
+        better="higher", tolerance=0.0,
+    )
+    report.record(
+        "structured.generic_best_ratio", generic[best_name], unit="ratio",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "structured.template_wire_crc32", zlib.crc32(template_wire), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "structured.columnar_ratio", columnar_ratio, unit="ratio",
+        better="lower", tolerance=0.0,
+    )
+    report.record(
+        "structured.zlib6_ratio", zlib6_ratio, unit="ratio",
+        better="near", tolerance=0.0,
+    )
+    report.record(
+        "structured.columnar_wire_crc32", zlib.crc32(columnar_wire), unit="crc32",
+        better="near", tolerance=0.0,
+    )
+
+
 def check_ratchets(baseline: BenchReport, candidate: BenchReport) -> list:
     """One-sided raw-path ratchet: these may equal the baseline, never lose."""
     failures = []
@@ -797,6 +885,12 @@ def build_report() -> BenchReport:
                 "interference": DEFAULT_INTERFERENCE,
                 "upstream": "1gbit",
             },
+            "structured": {
+                "block_size": STRUCTURED_BLOCK_SIZE,
+                "seed": STRUCTURED_SEED,
+                "rivals": list(STRUCTURED_RIVALS),
+                "min_win": STRUCTURED_MIN_WIN,
+            },
         }
     )
     fig01_decision_sweep(report)
@@ -807,6 +901,7 @@ def build_report() -> BenchReport:
     bicriteria_pareto(report)
     raw_path(report)
     placement_breakeven(report)
+    structured_ratio(report)
     return report
 
 

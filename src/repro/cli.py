@@ -111,7 +111,7 @@ def cmd_methods(_args: argparse.Namespace) -> int:
 
 def _replay_result(args: argparse.Namespace, observers=None, registry=None):
     from .experiments.config import ReplayConfig
-    from .experiments.replay import commercial_blocks, molecular_blocks, run_replay
+    from .experiments.replay import dataset_blocks, run_replay
 
     plan = None
     if getattr(args, "faults", None):
@@ -133,11 +133,7 @@ def _replay_result(args: argparse.Namespace, observers=None, registry=None):
         interference=args.interference,
         downstream_factor=args.downstream_factor,
     )
-    blocks = (
-        commercial_blocks(config)
-        if args.dataset == "commercial"
-        else molecular_blocks(config)
-    )
+    blocks = dataset_blocks(args.dataset, config)
     return run_replay(blocks, config, observers=observers, registry=registry), plan
 
 
@@ -543,7 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_methods)
 
     def add_replay_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--dataset", choices=["commercial", "molecular"], default="commercial")
+        datasets = ["commercial", "molecular", "logs", "timeseries"]
+        p.add_argument("--dataset", choices=datasets, default="commercial")
+        p.add_argument(
+            "--source",
+            dest="dataset",
+            choices=datasets,
+            help="alias for --dataset (structured workloads: logs, timeseries)",
+        )
         p.add_argument("--link", choices=["1gbit", "100mbit", "1mbit", "international"], default="100mbit")
         p.add_argument("--blocks", type=int, default=64)
         p.add_argument("--interval", type=float, default=1.25, help="seconds between blocks (0 = bulk)")

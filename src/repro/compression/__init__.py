@@ -50,6 +50,17 @@ from .registry import (
 )
 from .rle import rle_decode, rle_encode
 from .streaming import StreamingCompressor, StreamingDecompressor
+from .structured import (
+    MAX_STRUCTURED_OUTPUT,
+    ColumnarCodec,
+    TemplateCodec,
+    bitpack,
+    bitunpack,
+    delta_zigzag,
+    undelta_zigzag,
+    zigzag_decode,
+    zigzag_encode,
+)
 
 __all__ = [
     "AdaptiveByteModel",
@@ -77,16 +88,22 @@ __all__ = [
     "NativeLz4Codec",
     "NativeLzCodec",
     "NativeZstdCodec",
+    "ColumnarCodec",
+    "MAX_STRUCTURED_OUTPUT",
     "ParallelCodec",
     "PAPER_METHODS",
+    "TemplateCodec",
     "QuantizedFloatCodec",
     "StreamDecoder",
     "StreamingCompressor",
     "StreamingDecompressor",
     "TruncatedFloatCodec",
     "available_codecs",
+    "bitpack",
+    "bitunpack",
     "bwt_inverse",
     "bwt_transform",
+    "delta_zigzag",
     "decode_frame",
     "encode_block_frame",
     "encode_frame",
@@ -105,6 +122,9 @@ __all__ = [
     "rle_encode",
     "suffix_array",
     "tokenize",
+    "undelta_zigzag",
     "unpack_jumbo_frame",
     "unregister_codec",
+    "zigzag_decode",
+    "zigzag_encode",
 ]

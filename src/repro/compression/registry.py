@@ -28,6 +28,7 @@ from .native import (
     NativeZstdCodec,
 )
 from .parallel import ParallelCodec
+from .structured import ColumnarCodec, TemplateCodec
 
 __all__ = [
     "register_codec",
@@ -109,6 +110,11 @@ def _register_builtins() -> None:
         "parallel:burrows-wheeler",
         lambda: ParallelCodec(BurrowsWheelerCodec(), strategy="threads"),
     )
+    # Structure-aware family: template-mined logs and columnar records.
+    # Data-dependent by design — the selector only routes here when
+    # data.analysis sniffing says the block looks structured.
+    register_codec("template", TemplateCodec)
+    register_codec("columnar", ColumnarCodec)
     # Application-specific lossy methods (§5) with default parameters;
     # users register tighter-tolerance instances under their own names.
     register_codec("quantized-float", QuantizedFloatCodec)

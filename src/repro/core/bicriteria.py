@@ -189,6 +189,7 @@ def default_candidates(
     block_size: int = DEFAULT_BLOCK_SIZE,
     block_sizes: Optional[Sequence[int]] = None,
     native: Optional[bool] = None,
+    structured: Optional[bool] = None,
 ) -> Tuple[CandidateSpec, ...]:
     """The default search grid over (codec, parameters, block size).
 
@@ -204,6 +205,13 @@ def default_candidates(
     and ``False`` pins the grid to the always-available pure-Python
     methods — what the deterministic bench uses so baseline CRCs do not
     depend on which bindings the host happens to have.
+
+    ``structured`` gates the structure-aware tier (``template`` /
+    ``columnar``).  Their ``DEFAULT_COSTS`` ratios only hold on data the
+    :mod:`repro.data.analysis` sniffers matched, and the modeled
+    frontier cannot see the data — so unlike ``native`` the default is
+    *off* (``None`` behaves like ``False``); callers enable it exactly
+    when the sniff says the stream is structured.
     """
     from ..compression.native import HAVE_LZ4, HAVE_ZSTD
 
@@ -239,6 +247,9 @@ def default_candidates(
         specs.extend(
             CandidateSpec.make(method, block_size=size) for method in native_methods
         )
+        if structured:
+            specs.append(CandidateSpec.make("template", block_size=size))
+            specs.append(CandidateSpec.make("columnar", block_size=size))
     return tuple(specs)
 
 

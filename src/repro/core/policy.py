@@ -162,6 +162,7 @@ class AdaptivePolicy:
         cpu: Optional[object] = None,
         candidates: Optional[Sequence[CandidateSpec]] = None,
         native: Optional[bool] = None,
+        structured: Optional[bool] = None,
         method_map: Optional[Dict[str, str]] = None,
         placement: str = "producer",
         interference: float = 0.0,
@@ -197,6 +198,10 @@ class AdaptivePolicy:
         self.cpu = cpu
         self.candidates = tuple(candidates) if candidates is not None else None
         self.native = native
+        #: Admit the structure-aware tier (template/columnar) to the
+        #: bicriteria grid.  Off by default: their modeled ratios only
+        #: hold on sniffed-structured streams (see default_candidates).
+        self.structured = structured
         self.method_map = dict(method_map) if method_map else {}
         self.placement = placement
         self.interference = interference
@@ -234,7 +239,9 @@ class AdaptivePolicy:
             return self.candidates
         grid = self._grids.get(block_size)
         if grid is None:
-            grid = default_candidates(block_size, native=self.native)
+            grid = default_candidates(
+                block_size, native=self.native, structured=self.structured
+            )
             self._grids[block_size] = grid
         return grid
 

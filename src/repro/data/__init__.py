@@ -1,16 +1,21 @@
 """Dataset substrates: PBIO-like binary interchange, the paper's two
 workload generators (commercial OIS transactions and molecular-dynamics
-trajectories), and data-characteristic analysis."""
+trajectories), the structured-workload generators (templated logs and
+multi-channel telemetry), and data-characteristic analysis."""
 
 from .analysis import (
     DataProfile,
+    looks_like_log_lines,
+    looks_like_records,
     profile,
     recommended_methods,
     repetition_fraction,
     shannon_entropy,
 )
 from .commercial import AIRPORTS, EQUIPMENT, STATUSES, CommercialDataGenerator
+from .logs import LogDataGenerator
 from .molecular import FRAME_FORMAT, MolecularDataGenerator
+from .timeseries import TimeSeriesGenerator
 from .pbio import (
     Field,
     FieldType,
@@ -28,12 +33,16 @@ __all__ = [
     "FRAME_FORMAT",
     "Field",
     "FieldType",
+    "LogDataGenerator",
     "MolecularDataGenerator",
     "PbioError",
     "RecordFormat",
     "STATUSES",
+    "TimeSeriesGenerator",
     "decode_records",
     "encode_records",
+    "looks_like_log_lines",
+    "looks_like_records",
     "profile",
     "recommended_methods",
     "repetition_fraction",

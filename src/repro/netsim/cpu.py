@@ -174,6 +174,22 @@ DEFAULT_COSTS = CodecCostModel(
             decompress_throughput=700.0 * _MB,
             typical_ratio=0.55,
         ),
+        # Structure-aware family, calibrated on the seeded log/telemetry
+        # corpora (scripts/bench_structured measurements).  The ratios
+        # only hold on data the sniffers matched — which is the only time
+        # a candidate grid names these codecs (default_candidates keeps
+        # them out unless structured=True), so the entries are harmless
+        # for opaque traffic.
+        "template": CodecCost(
+            compress_throughput=7.0 * _MB,
+            decompress_throughput=30.0 * _MB,
+            typical_ratio=0.18,
+        ),
+        "columnar": CodecCost(
+            compress_throughput=40.0 * _MB,
+            decompress_throughput=200.0 * _MB,
+            typical_ratio=0.19,
+        ),
     }
 )
 

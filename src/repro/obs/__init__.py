@@ -69,6 +69,13 @@ from .placement import (
     record_placement_degraded,
     record_relay_event,
 )
+from .structured import (
+    STRUCTURED_BLOCKS_TOTAL,
+    STRUCTURED_CHANNEL_BYTES_TOTAL,
+    STRUCTURED_FALLBACK_TOTAL,
+    STRUCTURED_TEMPLATES_MINED_TOTAL,
+    record_structured_block,
+)
 from .trace import TraceWriter, read_trace
 
 __all__ = [
@@ -94,6 +101,10 @@ __all__ = [
     "RELAY_BYTES_SAVED_TOTAL",
     "RELAY_EVENTS_TOTAL",
     "Regression",
+    "STRUCTURED_BLOCKS_TOTAL",
+    "STRUCTURED_CHANNEL_BYTES_TOTAL",
+    "STRUCTURED_FALLBACK_TOTAL",
+    "STRUCTURED_TEMPLATES_MINED_TOTAL",
     "TraceWriter",
     "compare_reports",
     "get_registry",
@@ -111,5 +122,6 @@ __all__ = [
     "record_placement_degraded",
     "record_relay_event",
     "record_shard_queue_depth",
+    "record_structured_block",
     "set_registry",
 ]

@@ -1,0 +1,74 @@
+"""Metric vocabulary for the structure-aware codecs.
+
+One place defines every ``repro_structured_*`` series the template and
+columnar codecs emit, so dashboards and tests never guess at names.
+Label discipline mirrors :mod:`repro.obs.bicriteria`: the only label
+values are the codec name (``template``/``columnar``), the block outcome
+(``structured``/``fallback``), and the small closed set of channel kinds
+(``int``/``ip``/``hex``/``raw`` for template slots, ``raw``/``delta``/
+``dod`` for columnar columns) — bounded cardinality by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "STRUCTURED_BLOCKS_TOTAL",
+    "STRUCTURED_CHANNEL_BYTES_TOTAL",
+    "STRUCTURED_FALLBACK_TOTAL",
+    "STRUCTURED_TEMPLATES_MINED_TOTAL",
+    "record_structured_block",
+]
+
+#: Blocks seen by a structured codec, labeled by codec and outcome
+#: (``structured`` wire vs whole-block ``fallback``); the fallback *rate*
+#: is the ratio of the two.
+STRUCTURED_BLOCKS_TOTAL = "repro_structured_blocks_total"
+
+#: Fallback blocks alone, for cheap alerting without label math.
+STRUCTURED_FALLBACK_TOTAL = "repro_structured_fallback_total"
+
+#: Distinct templates mined (template codec) or columns transposed
+#: (columnar codec) across all structured blocks.
+STRUCTURED_TEMPLATES_MINED_TOTAL = "repro_structured_templates_mined_total"
+
+#: Encoded slot-channel bytes by channel kind.
+STRUCTURED_CHANNEL_BYTES_TOTAL = "repro_structured_channel_bytes_total"
+
+
+def record_structured_block(
+    registry: MetricsRegistry,
+    *,
+    codec: str,
+    fallback: bool,
+    templates: int = 0,
+    channel_bytes: Mapping[str, int] = (),
+) -> None:
+    """Record one structured-codec compress call."""
+    outcome = "fallback" if fallback else "structured"
+    registry.counter(
+        STRUCTURED_BLOCKS_TOTAL,
+        help="blocks seen by structure-aware codecs by outcome",
+    ).inc(codec=codec, outcome=outcome)
+    if fallback:
+        registry.counter(
+            STRUCTURED_FALLBACK_TOTAL,
+            help="blocks that took the whole-block raw fallback",
+        ).inc(codec=codec)
+        return
+    if templates:
+        registry.counter(
+            STRUCTURED_TEMPLATES_MINED_TOTAL,
+            help="templates mined / columns transposed in structured blocks",
+        ).inc(templates, codec=codec)
+    channels: Dict[str, int] = dict(channel_bytes)
+    counter = registry.counter(
+        STRUCTURED_CHANNEL_BYTES_TOTAL,
+        help="encoded slot-channel bytes by channel kind",
+    )
+    for kind, size in channels.items():
+        if size:
+            counter.inc(size, codec=codec, channel=kind)

@@ -33,6 +33,11 @@ The invariants (one check function each, all registered in
 * ``lossy-contract`` — lossy codecs preserve shape (length) on aligned
   float64 input, honor their declared error bound, and reject unaligned
   input with the contract exceptions.
+* ``structured-fallback`` — structure-aware codecs (family
+  ``structured``) fed non-conforming input (binary noise, empty, a
+  single byte) must engage their whole-block raw fallback and still
+  round-trip byte-exact; mining structure out of noise is a bug even
+  when it happens to round-trip.
 """
 
 from __future__ import annotations
@@ -386,6 +391,36 @@ def check_lossy(name: str, codec: Codec, corpus: Dict[str, bytes]) -> Iterator[C
             "lossy-contract", name, "unaligned-reject", False,
             "unaligned input was accepted silently",
         )
+
+
+@_check("structured-fallback")
+def check_structured_fallback(
+    name: str, codec: Codec, corpus: Dict[str, bytes]
+) -> Iterator[CheckResult]:
+    """Non-conforming input must take the raw fallback and round-trip."""
+    if getattr(codec, "family", "") != "structured":
+        return
+    noise = corpus.get("incompressible") or bytes(range(256)) * 16
+    cases = (
+        ("binary-noise", noise),
+        ("empty", b""),
+        ("single-byte", b"\x5a"),
+    )
+    for case, data in cases:
+        try:
+            payload = codec.compress(data)
+            fell_back = bool(codec.is_fallback(payload))
+            restored = codec.decompress(payload)
+        except Exception as exc:  # noqa: BLE001
+            yield _result("structured-fallback", name, case, False, f"raised {exc!r}")
+            continue
+        if restored != data:
+            ok, detail = False, "fallback round trip did not restore the input"
+        elif not fell_back:
+            ok, detail = False, "structured mode engaged on non-conforming input"
+        else:
+            ok, detail = True, ""
+        yield _result("structured-fallback", name, case, ok, detail)
 
 
 def run_conformance(

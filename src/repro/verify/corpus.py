@@ -18,7 +18,9 @@ import random
 from typing import Dict, Iterator, Tuple
 
 from ..data.commercial import CommercialDataGenerator
+from ..data.logs import LogDataGenerator
 from ..data.molecular import MolecularDataGenerator
+from ..data.timeseries import TimeSeriesGenerator
 
 __all__ = ["CorpusGenerator", "DEFAULT_CORPUS_SEED", "EDGE_CASES"]
 
@@ -100,6 +102,14 @@ class CorpusGenerator:
         """All 256 values cycling — defeats run detection, exercises full tables."""
         return bytes(range(256)) * (self.size // 256)
 
+    def templated_logs(self) -> bytes:
+        """LogHub-style templated lines — the template codec's workload."""
+        return next(iter(LogDataGenerator(seed=self.seed).stream(self.size, 1)))
+
+    def columnar_records(self) -> bytes:
+        """Fixed-width telemetry records — the columnar codec's workload."""
+        return next(iter(TimeSeriesGenerator(seed=self.seed).stream(self.size, 1)))
+
     def blocks(self) -> Iterator[Tuple[str, bytes]]:
         """Every named block, edge cases first (deterministic order)."""
         yield from EDGE_CASES.items()
@@ -112,6 +122,8 @@ class CorpusGenerator:
         yield "zero-runs", self.zero_runs()
         yield "alternating", self.alternating()
         yield "sawtooth", self.sawtooth()
+        yield "templated-logs", self.templated_logs()
+        yield "columnar-records", self.columnar_records()
 
     def as_dict(self) -> Dict[str, bytes]:
         return dict(self.blocks())

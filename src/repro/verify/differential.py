@@ -26,6 +26,8 @@ from __future__ import annotations
 import bz2
 import lzma
 import zlib
+
+import numpy as np
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -35,15 +37,20 @@ from ..compression.mtf import mtf_decode, mtf_encode
 from ..compression.parallel import ParallelCodec
 from ..compression.registry import available_codecs, get_codec
 from ..compression.rle import rle_decode, rle_encode
+from ..compression.structured import bitpack, bitunpack, delta_zigzag, undelta_zigzag
 from ..core.engine import measure_callable
 from .corpus import CorpusGenerator
 from .references import (
+    reference_bitpack,
+    reference_bitunpack,
     reference_bwt_inverse,
     reference_bwt_transform,
+    reference_delta_zigzag,
     reference_mtf_decode,
     reference_mtf_encode,
     reference_rle_decode,
     reference_rle_encode,
+    reference_undelta_zigzag,
 )
 
 __all__ = [
@@ -55,6 +62,7 @@ __all__ = [
     "diff_wire_counterpart",
     "diff_scalar_vectorized",
     "diff_serial_parallel",
+    "diff_structured_primitives",
 ]
 
 
@@ -235,6 +243,83 @@ def diff_scalar_vectorized(case: str, data: bytes) -> List[DifferentialResult]:
     return results
 
 
+#: Bit widths the structured-primitive differential sweeps: the packer's
+#: byte-aligned sweet spots, the odd widths that straddle byte boundaries,
+#: and the degenerate 1/64 extremes.
+_BITPACK_WIDTHS = (1, 7, 12, 24, 33, 64)
+
+
+def diff_structured_primitives(case: str, data: bytes) -> List[DifferentialResult]:
+    """The structured codecs' column primitives vs the scalar oracles.
+
+    The corpus bytes are reinterpreted as a uint64 column (the same view
+    the columnar codec takes of an 8-byte field), then the vectorized
+    delta/zigzag/bitpack pipeline is cross-checked bit-for-bit against
+    the per-value loops in :mod:`repro.verify.references`.
+    """
+    usable = len(data) - len(data) % 8
+    if usable < 16:
+        return []
+    column = np.frombuffer(data[:usable], dtype="<u8")
+    scalar_column = [int(v) for v in column]
+    results = []
+
+    fast = measure_callable("delta-zigzag:numpy", delta_zigzag, column)
+    slow = measure_callable("delta-zigzag:scalar", reference_delta_zigzag, scalar_column)
+    assert fast.payload is not None and slow.payload is not None
+    ok = [int(v) for v in fast.payload] == slow.payload
+    results.append(
+        DifferentialResult(
+            kind="scalar-vectorized",
+            subject="delta-zigzag",
+            case=case,
+            passed=ok,
+            detail="" if ok else "vectorized delta-zigzag diverged from scalar",
+            subject_seconds=fast.elapsed_seconds,
+            reference_seconds=slow.elapsed_seconds,
+        )
+    )
+
+    encoded = delta_zigzag(column)
+    restored = undelta_zigzag(scalar_column[0], encoded)
+    reference = reference_undelta_zigzag(scalar_column[0], slow.payload)
+    ok = [int(v) for v in restored] == reference == scalar_column
+    results.append(
+        DifferentialResult(
+            kind="scalar-vectorized",
+            subject="undelta-zigzag",
+            case=case,
+            passed=ok,
+            detail="" if ok else "vectorized undelta-zigzag diverged from scalar",
+        )
+    )
+
+    for width in _BITPACK_WIDTHS:
+        narrowed = column & np.uint64((1 << width) - 1)
+        scalar_narrowed = [int(v) for v in narrowed]
+        packed = bitpack(narrowed, width)
+        ok = packed == reference_bitpack(scalar_narrowed, width)
+        detail = "" if ok else "vectorized bitpack diverged from scalar"
+        if ok:
+            unpacked = bitunpack(packed, len(narrowed), width)
+            ok = (
+                [int(v) for v in unpacked]
+                == reference_bitunpack(packed, len(scalar_narrowed), width)
+                == scalar_narrowed
+            )
+            detail = "" if ok else "vectorized bitunpack diverged from scalar"
+        results.append(
+            DifferentialResult(
+                kind="scalar-vectorized",
+                subject=f"bitpack-{width}",
+                case=case,
+                passed=ok,
+                detail=detail,
+            )
+        )
+    return results
+
+
 def diff_serial_parallel(
     base_name: str, case: str, data: bytes, chunk_size: int = 4096
 ) -> List[DifferentialResult]:
@@ -290,6 +375,7 @@ def run_differential(
         for codec_name in sorted(registered & set(REFERENCE_COUNTERPARTS)):
             results.extend(diff_wire_counterpart(codec_name, case, data))
         results.extend(diff_scalar_vectorized(case, data))
+        results.extend(diff_structured_primitives(case, data))
     sample = corpus.get("commercial") or next(iter(corpus.values()))
     results.extend(diff_serial_parallel("lempel-ziv", "commercial", sample))
     results.extend(diff_serial_parallel("huffman", "commercial", sample))

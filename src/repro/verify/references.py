@@ -1,7 +1,8 @@
 """Scalar reference implementations for differential testing.
 
 The hot loops in :mod:`repro.compression` (move-to-front, the 254-capped
-RLE, the Burrows-Wheeler transform) are vectorized numpy rewrites of
+RLE, the Burrows-Wheeler transform, and the structured codecs'
+zigzag/delta/bitpack column primitives) are vectorized numpy rewrites of
 classic per-byte algorithms.  This module keeps the classic formulations
 — short, obviously-correct Python loops straight out of the textbook —
 as the differential oracle: the optimized path must be **byte-identical**
@@ -13,7 +14,7 @@ Python's ``sorted``, O(n² log n)); use them on test-sized inputs only.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 from ..compression.base import CorruptStreamError
 from ..compression.rle import ESCAPE, MAX_RUN, MIN_RUN
@@ -25,7 +26,13 @@ __all__ = [
     "reference_rle_decode",
     "reference_bwt_transform",
     "reference_bwt_inverse",
+    "reference_bitpack",
+    "reference_bitunpack",
+    "reference_delta_zigzag",
+    "reference_undelta_zigzag",
 ]
+
+_U64_MASK = (1 << 64) - 1
 
 
 def reference_mtf_encode(data: bytes) -> bytes:
@@ -154,3 +161,76 @@ def reference_bwt_inverse(last_column: bytes, primary: int) -> bytes:
     if any(value == 0 for value in body):
         raise CorruptStreamError("sentinel surfaced inside inverse BWT output")
     return bytes(value - 1 for value in body)
+
+
+def _reference_zigzag(delta: int) -> int:
+    """Zigzag-map one signed 64-bit delta (small magnitudes stay small)."""
+    return (delta << 1) if delta >= 0 else ((-delta << 1) - 1)
+
+
+def _reference_unzigzag(value: int) -> int:
+    """Invert :func:`_reference_zigzag`."""
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+def reference_bitpack(values: Sequence[int], width: int) -> bytes:
+    """Pack uint64 values into ``width`` bits each, MSB first, one bit
+    at a time; the final partial byte is zero-padded on the right."""
+    if not 0 <= width <= 64:
+        raise ValueError(f"bit width out of range: {width}")
+    if width == 0 or not values:
+        return b""
+    bits = []
+    for value in values:
+        for position in range(width - 1, -1, -1):
+            bits.append((value >> position) & 1)
+    while len(bits) % 8:
+        bits.append(0)
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[start : start + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def reference_bitunpack(packed: bytes, count: int, width: int) -> List[int]:
+    """Invert :func:`reference_bitpack`; returns ``count`` uint64 values."""
+    if not 0 <= width <= 64:
+        raise ValueError(f"bit width out of range: {width}")
+    if width == 0 or count == 0:
+        return [0] * count
+    out = []
+    for index in range(count):
+        value = 0
+        for offset in range(width):
+            position = index * width + offset
+            byte = packed[position >> 3]
+            value = (value << 1) | ((byte >> (7 - (position & 7))) & 1)
+        out.append(value)
+    return out
+
+
+def reference_delta_zigzag(column: Sequence[int]) -> List[int]:
+    """Wrapping first differences of a uint64 column, zigzag-mapped.
+
+    The wrapped difference is reinterpreted as a two's-complement signed
+    64-bit value before zigzagging, matching the vectorized path's
+    ``view("<i8")``.
+    """
+    out = []
+    for previous, current in zip(column, column[1:]):
+        delta = (current - previous) & _U64_MASK
+        if delta >= 1 << 63:
+            delta -= 1 << 64
+        out.append(_reference_zigzag(delta))
+    return out
+
+
+def reference_undelta_zigzag(first: int, encoded: Sequence[int]) -> List[int]:
+    """Invert :func:`reference_delta_zigzag` given the first raw value."""
+    out = [first & _U64_MASK]
+    for value in encoded:
+        out.append((out[-1] + _reference_unzigzag(value)) & _U64_MASK)
+    return out

@@ -1,0 +1,99 @@
+"""Unit tests for the structured-workload generators and sniffers."""
+
+from repro.data.analysis import (
+    looks_like_log_lines,
+    looks_like_records,
+    profile,
+    recommended_methods,
+)
+from repro.data.logs import LogDataGenerator
+from repro.data.timeseries import TimeSeriesGenerator
+
+
+class TestLogDataGenerator:
+    def test_deterministic_per_seed(self):
+        a = LogDataGenerator(seed=1).log_block(8192)
+        b = LogDataGenerator(seed=1).log_block(8192)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = LogDataGenerator(seed=1).log_block(8192)
+        b = LogDataGenerator(seed=2).log_block(8192)
+        assert a != b
+
+    def test_reset_rewinds(self):
+        gen = LogDataGenerator(seed=3)
+        first = gen.log_block(4096)
+        gen.reset()
+        assert gen.log_block(4096) == first
+
+    def test_block_is_whole_lines(self):
+        block = LogDataGenerator().log_block(4096)
+        assert len(block) >= 4096
+        assert block.endswith(b"\n")
+        assert b"\x00" not in block
+
+    def test_timestamps_and_sequences_monotone(self):
+        block = LogDataGenerator(seed=5).log_block(16384)
+        stamps, sequences = [], []
+        for line in block.splitlines():
+            head, seq_field = line.split(b" ", 2)[:2]
+            stamps.append(int(head.split(b"=")[1]))
+            sequences.append(int(seq_field.split(b"=")[1]))
+        assert stamps == sorted(stamps)
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_stream_blocks_exact_size(self):
+        blocks = list(LogDataGenerator().stream(10000, 5))
+        assert len(blocks) == 5
+        assert all(len(b) == 10000 for b in blocks)
+
+    def test_sniffer_recognizes_logs(self):
+        block = next(iter(LogDataGenerator(seed=7).stream(32 * 1024, 1)))
+        assert looks_like_log_lines(block)
+        assert looks_like_records(block) is None
+        methods = recommended_methods(profile(block))
+        assert methods[0] == "template"
+
+
+class TestTimeSeriesGenerator:
+    def test_deterministic_per_seed(self):
+        a = TimeSeriesGenerator(seed=1).records_block(8192)
+        b = TimeSeriesGenerator(seed=1).records_block(8192)
+        assert a == b
+
+    def test_reset_rewinds(self):
+        gen = TimeSeriesGenerator(seed=3)
+        first = gen.records_block(4096)
+        gen.reset()
+        assert gen.records_block(4096) == first
+
+    def test_block_is_whole_records(self):
+        block = TimeSeriesGenerator().records_block(4096)
+        assert len(block) >= 4096
+        assert len(block) % TimeSeriesGenerator.RECORD_WIDTH == 0
+
+    def test_first_channel_is_monotone_counter(self):
+        import struct
+
+        block = TimeSeriesGenerator(seed=5).records_block(16384)
+        width = TimeSeriesGenerator.RECORD_WIDTH
+        rows = [
+            struct.unpack("<8Q", block[i : i + width])
+            for i in range(0, len(block), width)
+        ]
+        timestamps = [row[0] for row in rows]
+        assert timestamps == sorted(timestamps)
+
+    def test_stream_blocks_exact_size(self):
+        blocks = list(TimeSeriesGenerator().stream(16384, 4))
+        assert len(blocks) == 4
+        assert all(len(b) == 16384 for b in blocks)
+
+    def test_sniffer_recognizes_records(self):
+        block = next(iter(TimeSeriesGenerator(seed=7).stream(32 * 1024, 1)))
+        assert not looks_like_log_lines(block)
+        assert looks_like_records(block) == TimeSeriesGenerator.RECORD_WIDTH
+        methods = recommended_methods(profile(block))
+        assert methods[0] == "columnar"

@@ -55,3 +55,44 @@ def link_names() -> st.SearchStrategy:
 def stream_block_sizes() -> st.SearchStrategy:
     """Valid streaming block sizes (the API floor is 1024)."""
     return st.sampled_from([1024, 2048, 4096, 16 * 1024])
+
+
+def log_line_payloads(max_lines: int = 64) -> st.SearchStrategy:
+    """Newline-joined templated log lines for the template codec.
+
+    Lines are drawn from a handful of skeletons whose slots carry the
+    three typed values the miner channels (decimal runs, dotted quads,
+    long hex runs), so generated blocks exercise every channel mode while
+    hypothesis still shrinks to readable minimal examples.
+    """
+    octet = st.integers(min_value=0, max_value=255)
+    ip = st.builds(lambda a, b, c, d: f"{a}.{b}.{c}.{d}", octet, octet, octet, octet)
+    number = st.integers(min_value=0, max_value=2**48)
+    digest = st.integers(min_value=0, max_value=2**64 - 1).map(lambda v: "%016x" % v)
+    line = st.one_of(
+        st.builds("ts={} level=INFO worker accepted from {}".format, number, ip),
+        st.builds("ts={} level=WARN retry seq={} digest={}".format, number, number, digest),
+        st.builds("block {} replicated to {} in {} ms".format, digest, ip, number),
+        st.builds("heartbeat {}".format, number),
+    )
+    return (
+        st.lists(line, min_size=0, max_size=max_lines)
+        .map(lambda lines: "".join(item + "\n" for item in lines).encode("ascii"))
+    )
+
+
+def record_payloads(max_records: int = 96) -> st.SearchStrategy:
+    """Fixed-width little-endian uint64 record arrays for columnar.
+
+    Each record is four 8-byte fields: a slowly-advancing counter-like
+    field, a free 64-bit field, and two narrow fields — together covering
+    the delta, delta-of-delta, and raw column modes.
+    """
+    u64 = st.integers(min_value=0, max_value=2**64 - 1)
+    narrow = st.integers(min_value=0, max_value=2**12)
+    record = st.tuples(st.integers(min_value=0, max_value=2**40), u64, narrow, narrow)
+    return st.lists(record, min_size=0, max_size=max_records).map(
+        lambda records: b"".join(
+            value.to_bytes(8, "little") for record in records for value in record
+        )
+    )
